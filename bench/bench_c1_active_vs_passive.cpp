@@ -1,0 +1,95 @@
+// C1 — paper §II claim: "With leading hardware access/communication
+// techniques [JTAG], the overhead of using additional codes to send
+// commands to GDM can be eliminated."
+// Table: target-side instrumentation cost (cycles, CPU share) for the
+// active RS-232 command interface vs. the passive JTAG watch vs. a bare
+// release build, swept over the model-event rate.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "codegen/loader.hpp"
+#include "comdes/build.hpp"
+#include "core/session.hpp"
+
+using namespace gmdf;
+
+namespace {
+
+struct Result {
+    std::uint64_t instr_cycles = 0;
+    double cpu_share = 0.0;        // instrumentation share of the CPU
+    std::uint64_t commands = 0;    // events observed at the debugger
+};
+
+// The SM toggles every `toggle_every` scans of a 1 kHz task: event rate =
+// 2000 / toggle_every state changes per second.
+Result run(const char* mode, int toggle_every, rt::SimTime duration) {
+    comdes::SystemBuilder sys("c1");
+    auto out = sys.add_signal("out");
+    auto a = sys.add_actor("task", 1'000); // 1 kHz
+    auto sm = a.add_sm("m", {"go"}, {"y"});
+    auto s0 = sm.add_state("s0", {{"y", "0"}});
+    auto s1 = sm.add_state("s1", {{"y", "1"}});
+    sm.add_transition(s0, s1, "go");
+    sm.add_transition(s1, s0, "go");
+    // go pulses every `toggle_every` scans: an integrator counts scans
+    // (+1 per 1 ms scan) and an expression tests the count modulo N.
+    auto one = a.add_basic("one", "const_", {1.0});
+    auto scans = a.add_basic("scans", "integrator_", {1000.0, 0.0});
+    auto trig = a.add_basic("trig", "expression_", {},
+                            "c - floor(c / " + std::to_string(toggle_every) + ") * " +
+                                std::to_string(toggle_every) + " == 0");
+    a.connect(one, "out", scans, "in");
+    a.connect(scans, "out", trig, "c");
+    a.connect(trig, "out", sm.sm_id(), "go");
+    a.bind_output(sm.sm_id(), "y", out);
+
+    rt::Target target;
+    codegen::InstrumentOptions opts;
+    if (std::string(mode) == "active") opts = codegen::InstrumentOptions::active();
+    else if (std::string(mode) == "passive") opts = codegen::InstrumentOptions::passive();
+    else opts = codegen::InstrumentOptions::none();
+
+    auto loaded = codegen::load_system(target, sys.model(), opts);
+    (void)loaded;
+    core::DebugSession session(sys.model());
+    if (std::string(mode) == "active") session.attach_active(target);
+    if (std::string(mode) == "passive")
+        session.attach_passive(target, loaded, /*poll_period=*/rt::kMs);
+    target.start();
+    target.run_for(duration);
+
+    Result r;
+    r.instr_cycles = target.total_instr_cycles();
+    double total_s = static_cast<double>(duration) / 1e9;
+    r.cpu_share = static_cast<double>(r.instr_cycles) / (48e6 * total_s);
+    r.commands = session.engine().stats().commands;
+    return r;
+}
+
+} // namespace
+
+int main() {
+    const rt::SimTime duration = 5 * rt::kSec;
+    std::cout << "C1: target-side overhead, active(RS-232) vs passive(JTAG) vs none\n";
+    std::cout << "1 kHz control task on a 48 MHz target, 5 simulated seconds\n\n";
+    std::cout << std::left << std::setw(14) << "events/s" << std::setw(10) << "mode"
+              << std::setw(16) << "instr cycles" << std::setw(14) << "CPU share"
+              << std::setw(12) << "commands" << "\n";
+
+    for (int toggle_every : {100, 20, 4, 1}) {
+        double events_per_s = 1000.0 / toggle_every; // one transition per toggle scan
+        for (const char* mode : {"none", "active", "passive"}) {
+            Result r = run(mode, toggle_every, duration);
+            std::cout << std::setw(14) << events_per_s << std::setw(10) << mode
+                      << std::setw(16) << r.instr_cycles << std::setw(14) << std::fixed
+                      << std::setprecision(5) << r.cpu_share << std::setw(12) << r.commands
+                      << "\n";
+            std::cout.unsetf(std::ios::fixed);
+        }
+    }
+    std::cout << "\nExpected shape (paper claim): active cost grows ~linearly with the\n"
+                 "event rate; passive stays at exactly 0 target cycles at every rate.\n";
+    return 0;
+}

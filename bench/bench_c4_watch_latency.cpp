@@ -1,0 +1,107 @@
+// C4 — paper §II claim: with JTAG, "GDM will always be notified and then
+// execute appropriate reactions when the selected monitored variable
+// changes its value at runtime."
+// "Always" has limits: a change-based poller detects a change only at the
+// next poll, and misses pulses shorter than the poll period. Table:
+// detection latency (mean/max) and missed-event rate vs. poll period, for
+// a state variable toggling at a fixed rate.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "link/jtag.hpp"
+#include "link/watch.hpp"
+#include "rt/des.hpp"
+#include "rt/memory.hpp"
+
+using namespace gmdf;
+
+namespace {
+
+struct Result {
+    double mean_latency_ms = 0.0;
+    double max_latency_ms = 0.0;
+    double detected_fraction = 0.0;
+    double poll_round_us = 0.0;
+};
+
+/// The variable flips 0<->1 every `toggle_period`; the poller samples
+/// every `poll_period`. Ground truth toggle times vs. detection times.
+Result run(rt::SimTime toggle_period, rt::SimTime poll_period, rt::SimTime duration) {
+    rt::Simulator sim;
+    rt::MemoryMap mem;
+    auto addr = mem.alloc("sm_state");
+    link::JtagTap tap(mem);
+    link::JtagProbe probe(tap, 1e6); // 1 MHz TCK
+    link::WatchPoller poller(sim, probe, poll_period);
+    poller.watch(addr);
+
+    std::vector<rt::SimTime> changes;      // ground truth
+    std::vector<rt::SimTime> detections;   // watch events
+    poller.set_callback([&](const link::WatchEvent& ev) { detections.push_back(ev.at); });
+    poller.start();
+
+    std::uint32_t value = 0;
+    sim.every(toggle_period, toggle_period, [&] {
+        value ^= 1u;
+        mem.write_u32(addr, value);
+        changes.push_back(sim.now());
+    });
+
+    sim.run_until(duration);
+    poller.stop();
+
+    Result r;
+    r.poll_round_us = static_cast<double>(poller.round_cost()) / 1000.0;
+    if (changes.empty()) return r;
+    // Match each detection to the most recent change before it.
+    double sum = 0, worst = 0;
+    std::size_t matched = 0;
+    for (rt::SimTime det : detections) {
+        auto it = std::upper_bound(changes.begin(), changes.end(), det);
+        if (it == changes.begin()) continue;
+        double latency_ms = static_cast<double>(det - *(it - 1)) / 1e6;
+        sum += latency_ms;
+        worst = std::max(worst, latency_ms);
+        ++matched;
+    }
+    if (matched > 0) {
+        r.mean_latency_ms = sum / static_cast<double>(matched);
+        r.max_latency_ms = worst;
+    }
+    r.detected_fraction =
+        static_cast<double>(detections.size()) / static_cast<double>(changes.size());
+    return r;
+}
+
+} // namespace
+
+int main() {
+    const rt::SimTime duration = 20 * rt::kSec;
+    std::cout << "C4: passive watch detection latency vs poll period (1 MHz TCK)\n";
+    std::cout << "watched SM state variable toggling every 50 ms\n\n";
+    std::cout << std::left << std::setw(18) << "poll period (ms)" << std::setw(18)
+              << "mean latency(ms)" << std::setw(18) << "max latency (ms)" << std::setw(14)
+              << "detected" << std::setw(16) << "poll cost (us)" << "\n";
+    for (rt::SimTime poll : {1 * rt::kMs, 5 * rt::kMs, 20 * rt::kMs, 100 * rt::kMs}) {
+        auto r = run(/*toggle=*/50 * rt::kMs, poll, duration);
+        std::cout << std::setw(18) << static_cast<double>(poll) / 1e6 << std::setw(18)
+                  << std::fixed << std::setprecision(2) << r.mean_latency_ms << std::setw(18)
+                  << r.max_latency_ms << std::setw(14) << std::setprecision(2)
+                  << r.detected_fraction << std::setw(16) << r.poll_round_us << "\n";
+        std::cout.unsetf(std::ios::fixed);
+    }
+
+    std::cout << "\nfast-toggle aliasing: variable toggling every 2 ms, detected fraction\n";
+    for (rt::SimTime poll : {1 * rt::kMs, 4 * rt::kMs, 16 * rt::kMs}) {
+        auto r = run(/*toggle=*/2 * rt::kMs, poll, duration);
+        std::cout << "  poll " << std::setw(6) << static_cast<double>(poll) / 1e6
+                  << " ms -> detected " << std::fixed << std::setprecision(3)
+                  << r.detected_fraction << "\n";
+        std::cout.unsetf(std::ios::fixed);
+    }
+    std::cout << "\nExpected shape: mean latency ~ poll/2 + read cost, max ~ poll; events\n"
+                 "faster than the poll period alias away (0<->1<->0 between samples).\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+// F1 — paper Fig. 1: the model debugger's place in the MDD flow.
+// Regenerates the pipeline stage by stage and measures each: modeling
+// (build), validation, model transformation (flatten/codegen), execution
+// on the target, and the debugger attachment cost on top.
+#include <benchmark/benchmark.h>
+
+#include "codegen/loader.hpp"
+#include "comdes/build.hpp"
+#include "comdes/validate.hpp"
+#include "core/session.hpp"
+
+using namespace gmdf;
+
+namespace {
+
+// A mid-size control system: N state machines with a small dataflow each.
+comdes::SystemBuilder build_system(int n_actors) {
+    comdes::SystemBuilder sys("pipeline_bench");
+    for (int i = 0; i < n_actors; ++i) {
+        auto trig = sys.add_signal("trig" + std::to_string(i), "bool_");
+        auto out = sys.add_signal("out" + std::to_string(i), "real_");
+        auto a = sys.add_actor("actor" + std::to_string(i), 10'000);
+        auto sm = a.add_sm("fsm" + std::to_string(i), {"go"}, {"y"});
+        auto s0 = sm.add_state("s0", {{"y", "0"}});
+        auto s1 = sm.add_state("s1", {{"y", "1"}});
+        sm.add_transition(s0, s1, "go");
+        sm.add_transition(s1, s0, "", "!go");
+        auto lp = a.add_basic("lp", "lowpass_", {0.05});
+        a.bind_input(trig, sm.sm_id(), "go");
+        a.connect(sm.sm_id(), "y", lp, "in");
+        a.bind_output(lp, "out", out);
+    }
+    return sys;
+}
+
+void BM_Stage_ModelConstruction(benchmark::State& state) {
+    for (auto _ : state) {
+        auto sys = build_system(static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(sys.model().size());
+    }
+    state.counters["actors"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Stage_ModelConstruction)->Arg(4)->Arg(16);
+
+void BM_Stage_Validation(benchmark::State& state) {
+    auto sys = build_system(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto ds = comdes::validate_comdes(sys.model());
+        benchmark::DoNotOptimize(ds.size());
+    }
+}
+BENCHMARK(BM_Stage_Validation)->Arg(4)->Arg(16);
+
+void BM_Stage_Transformation(benchmark::State& state) {
+    auto sys = build_system(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        rt::Target target;
+        auto loaded =
+            codegen::load_system(target, sys.model(), codegen::InstrumentOptions::active());
+        benchmark::DoNotOptimize(loaded.actors.size());
+    }
+}
+BENCHMARK(BM_Stage_Transformation)->Arg(4)->Arg(16);
+
+/// One simulated second of execution, with and without the debugger.
+void BM_Stage_Execution(benchmark::State& state) {
+    bool debug = state.range(1) != 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto sys = build_system(static_cast<int>(state.range(0)));
+        rt::Target target;
+        auto opts = debug ? codegen::InstrumentOptions::active()
+                          : codegen::InstrumentOptions::none();
+        auto loaded = codegen::load_system(target, sys.model(), opts);
+        std::unique_ptr<core::DebugSession> session;
+        if (debug) {
+            session = std::make_unique<core::DebugSession>(sys.model());
+            session->attach_active(target);
+        }
+        target.start();
+        state.ResumeTiming();
+        target.run_for(rt::kSec);
+        benchmark::DoNotOptimize(target.sim().now());
+        state.PauseTiming();
+        if (session) state.counters["commands"] = static_cast<double>(
+            session->engine().stats().commands);
+        benchmark::DoNotOptimize(loaded.actors.size());
+        state.ResumeTiming();
+    }
+    state.SetLabel(debug ? "with-debugger" : "bare");
+}
+BENCHMARK(BM_Stage_Execution)->Args({4, 0})->Args({4, 1})->Args({16, 0})->Args({16, 1});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// F3 — paper Fig. 3: the GDM and its generation.
+// Measures automatic GDM construction (abstraction + layout + geometry
+// back-annotation) against input model size, plus GDM serialization.
+#include <benchmark/benchmark.h>
+
+#include "comdes/build.hpp"
+#include "core/abstraction.hpp"
+#include "meta/serialize.hpp"
+
+using namespace gmdf;
+
+namespace {
+
+// Ring machine with N states + M dataflow blocks.
+comdes::SystemBuilder build_model(int n_states, int n_blocks) {
+    comdes::SystemBuilder sys("f3");
+    auto a = sys.add_actor("a", 10'000);
+    auto sm = a.add_sm("m", {"go"}, {"y"});
+    std::vector<meta::ObjectId> states;
+    for (int i = 0; i < n_states; ++i)
+        states.push_back(sm.add_state("s" + std::to_string(i)));
+    for (int i = 0; i < n_states; ++i)
+        sm.add_transition(states[static_cast<std::size_t>(i)],
+                          states[static_cast<std::size_t>((i + 1) % n_states)], "go");
+    meta::ObjectId prev;
+    for (int i = 0; i < n_blocks; ++i) {
+        auto g = a.add_basic("g" + std::to_string(i), "gain_", {1.0});
+        if (!prev.is_null()) a.connect(prev, "out", g, "in");
+        prev = g;
+    }
+    return sys;
+}
+
+void BM_Abstraction(benchmark::State& state) {
+    auto n = static_cast<int>(state.range(0));
+    auto sys = build_model(n, n);
+    auto mapping = core::comdes_default_mapping();
+    std::size_t nodes = 0, edges = 0;
+    for (auto _ : state) {
+        auto result = core::abstract_model(sys.model(), mapping);
+        nodes = result.mapped_nodes;
+        edges = result.mapped_edges;
+        benchmark::DoNotOptimize(result.scene.nodes().data());
+    }
+    state.counters["gdm_nodes"] = static_cast<double>(nodes);
+    state.counters["gdm_edges"] = static_cast<double>(edges);
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Abstraction)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+void BM_GdmSerialization(benchmark::State& state) {
+    auto n = static_cast<int>(state.range(0));
+    auto sys = build_model(n, n);
+    auto result = core::abstract_model(sys.model(), core::comdes_default_mapping());
+    for (auto _ : state) {
+        std::string text = meta::write_model(result.gdm);
+        benchmark::DoNotOptimize(text.data());
+    }
+}
+BENCHMARK(BM_GdmSerialization)->Arg(16)->Arg(128);
+
+void BM_GdmRead(benchmark::State& state) {
+    auto n = static_cast<int>(state.range(0));
+    auto sys = build_model(n, n);
+    auto result = core::abstract_model(sys.model(), core::comdes_default_mapping());
+    std::string text = meta::write_model(result.gdm);
+    for (auto _ : state) {
+        auto reread = meta::read_model(result.gdm.metamodel(), text);
+        benchmark::DoNotOptimize(reread.size());
+    }
+}
+BENCHMARK(BM_GdmRead)->Arg(16)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

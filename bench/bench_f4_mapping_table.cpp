@@ -1,0 +1,71 @@
+// F4 — paper Fig. 4: the abstraction guide (pairing list UI).
+// Measures the operations behind the UI: pairing add/remove, pattern
+// lookup through the metaclass hierarchy, and applying a user mapping to
+// a whole model (the "ABSTRACTION FINISHED" action).
+#include <benchmark/benchmark.h>
+
+#include "comdes/build.hpp"
+#include "comdes/metamodel.hpp"
+#include "core/abstraction.hpp"
+
+using namespace gmdf;
+
+namespace {
+
+void BM_PairUnpair(benchmark::State& state) {
+    for (auto _ : state) {
+        core::MappingTable t;
+        core::GdmPattern p;
+        t.pair("State", p);
+        t.pair("Transition", p);
+        t.pair("BasicFB", p);
+        t.unpair("Transition");
+        benchmark::DoNotOptimize(t.size());
+    }
+}
+BENCHMARK(BM_PairUnpair);
+
+void BM_Lookup(benchmark::State& state) {
+    auto mapping = core::comdes_default_mapping();
+    const auto& c = comdes::comdes_metamodel();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapping.lookup(*c.state));
+        benchmark::DoNotOptimize(mapping.lookup(*c.transition));
+        benchmark::DoNotOptimize(mapping.lookup(*c.connection));
+        benchmark::DoNotOptimize(mapping.lookup(*c.network)); // unmapped
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_Lookup);
+
+void BM_LookupInheritanceWalk(benchmark::State& state) {
+    // Pattern pinned at the hierarchy root: lookup must walk supers.
+    core::MappingTable t;
+    t.pair("NamedElement", core::GdmPattern{});
+    const auto& c = comdes::comdes_metamodel();
+    for (auto _ : state) benchmark::DoNotOptimize(t.lookup(*c.state));
+}
+BENCHMARK(BM_LookupInheritanceWalk);
+
+void BM_ApplyMappingToModel(benchmark::State& state) {
+    auto n = static_cast<int>(state.range(0));
+    comdes::SystemBuilder sys("f4");
+    auto a = sys.add_actor("a", 10'000);
+    auto sm = a.add_sm("m", {"go"}, {});
+    std::vector<meta::ObjectId> states;
+    for (int i = 0; i < n; ++i) states.push_back(sm.add_state("s" + std::to_string(i)));
+    for (int i = 0; i + 1 < n; ++i)
+        sm.add_transition(states[static_cast<std::size_t>(i)],
+                          states[static_cast<std::size_t>(i + 1)], "go");
+    auto mapping = core::comdes_default_mapping();
+    for (auto _ : state) {
+        auto result = core::abstract_model(sys.model(), mapping);
+        benchmark::DoNotOptimize(result.mapped_nodes);
+    }
+    state.counters["model_elements"] = static_cast<double>(sys.model().size());
+}
+BENCHMARK(BM_ApplyMappingToModel)->Arg(8)->Arg(64)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

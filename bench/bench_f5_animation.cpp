@@ -1,0 +1,90 @@
+// F5 — paper Fig. 5: model visualization and animation.
+// Measures reaction application throughput on the scene and frame render
+// time (ASCII and SVG) against scene size — the capacity limits of the
+// "animated graphical model".
+#include <benchmark/benchmark.h>
+
+#include "comdes/build.hpp"
+#include "core/abstraction.hpp"
+#include "core/gdm.hpp"
+#include "core/engine.hpp"
+#include "render/ascii.hpp"
+#include "render/svg.hpp"
+
+using namespace gmdf;
+
+namespace {
+
+struct Fixture {
+    comdes::SystemBuilder sys;
+    std::vector<meta::ObjectId> states;
+    meta::ObjectId sm_id;
+    core::AbstractionResult abs;
+
+    explicit Fixture(int n_states)
+        : sys("f5"), abs{meta::Model(core::gdm_metamodel().mm), {}, 0, 0, 0} {
+        auto a = sys.add_actor("a", 10'000);
+        auto sm = a.add_sm("m", {"go"}, {});
+        for (int i = 0; i < n_states; ++i)
+            states.push_back(sm.add_state("s" + std::to_string(i)));
+        for (int i = 0; i < n_states; ++i)
+            sm.add_transition(states[static_cast<std::size_t>(i)],
+                              states[static_cast<std::size_t>((i + 1) % n_states)], "go");
+        sm_id = sm.sm_id();
+        abs = core::abstract_model(sys.model(), core::comdes_default_mapping());
+    }
+};
+
+void BM_ReactionThroughput(benchmark::State& state) {
+    Fixture f(static_cast<int>(state.range(0)));
+    core::DebuggerEngine engine(f.sys.model(), f.abs.scene);
+    rt::SimTime t = 0;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        link::Command cmd{link::Cmd::StateEnter, static_cast<std::uint32_t>(f.sm_id.raw),
+                          static_cast<std::uint32_t>(f.states[i % f.states.size()].raw),
+                          0.0f};
+        engine.ingest(cmd, t += rt::kMs);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["scene_nodes"] = static_cast<double>(f.abs.scene.nodes().size());
+}
+BENCHMARK(BM_ReactionThroughput)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_RenderAscii(benchmark::State& state) {
+    Fixture f(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        std::string frame = render::render_ascii(f.abs.scene);
+        benchmark::DoNotOptimize(frame.data());
+    }
+    state.counters["scene_nodes"] = static_cast<double>(f.abs.scene.nodes().size());
+}
+BENCHMARK(BM_RenderAscii)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_RenderSvg(benchmark::State& state) {
+    Fixture f(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        std::string svg = render::render_svg(f.abs.scene);
+        benchmark::DoNotOptimize(svg.data());
+    }
+    state.counters["scene_nodes"] = static_cast<double>(f.abs.scene.nodes().size());
+}
+BENCHMARK(BM_RenderSvg)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_HighlightDecay(benchmark::State& state) {
+    Fixture f(static_cast<int>(state.range(0)));
+    for (auto& n : f.abs.scene.nodes()) {
+        n.style.highlighted = true;
+        n.style.intensity = 1.0;
+    }
+    for (auto _ : state) {
+        f.abs.scene.decay_highlights(0.999); // keep alive across iterations
+        benchmark::DoNotOptimize(f.abs.scene.nodes().data());
+    }
+}
+BENCHMARK(BM_HighlightDecay)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Fault hunt — detecting implementation errors with the model debugger.
+//
+// Paper §II: a model debugger finds two kinds of bugs — design errors
+// (model vs. requirements) and implementation errors (code vs. model,
+// introduced by transformation or hybrid coding). This example injects
+// each transformation fault into the *generated code* (a mutated clone of
+// the model) while the debugger keeps the *design model*, then reports
+// which faults the consistency checker localizes and how.
+#include <iostream>
+
+#include "codegen/faults.hpp"
+#include "codegen/loader.hpp"
+#include "comdes/build.hpp"
+#include "comdes/validate.hpp"
+#include "core/session.hpp"
+
+using namespace gmdf;
+
+namespace {
+
+struct App {
+    comdes::SystemBuilder sys{"elevator"};
+    meta::ObjectId call_sig, at_floor, door_sig;
+
+    App() {
+        call_sig = sys.add_signal("call", "bool_");
+        at_floor = sys.add_signal("at_floor", "bool_");
+        door_sig = sys.add_signal("door", "real_");
+        auto a = sys.add_actor("elevator_ctl", 10'000);
+        auto sm = a.add_sm("lift", {"call", "arrived"}, {"move", "door"});
+        auto idle = sm.add_state("idle", {{"move", "0"}, {"door", "1"}});
+        auto moving = sm.add_state("moving", {{"move", "1"}, {"door", "0"}});
+        auto open = sm.add_state("doors_open", {{"move", "0"}, {"door", "1"}});
+        sm.add_transition(idle, moving, "call", "!arrived");
+        sm.add_transition(moving, open, "arrived");
+        sm.add_transition(open, idle, "", "!call");
+        a.bind_input(call_sig, sm.sm_id(), "call");
+        a.bind_input(at_floor, sm.sm_id(), "arrived");
+        a.bind_output(sm.sm_id(), "door", door_sig);
+    }
+};
+
+} // namespace
+
+int main() {
+    std::cout << "fault injection sweep: design model vs. mutated generated code\n\n";
+
+    for (auto kind : codegen::all_fault_kinds()) {
+        App app;
+        meta::Model mutated = app.sys.model().clone();
+        auto report = codegen::inject_fault(mutated, kind, /*seed=*/23);
+        if (!report.has_value()) {
+            std::cout << codegen::to_string(kind) << ": not applicable to this model\n";
+            continue;
+        }
+
+        rt::Target target;
+        auto loaded =
+            codegen::load_system(target, mutated, codegen::InstrumentOptions::active());
+        core::DebugSession session(app.sys.model()); // debugger holds the DESIGN
+        session.attach_active(target);
+        target.start();
+
+        // Exercise the elevator: call, arrive, release.
+        auto pub = [&](meta::ObjectId sig, double v, rt::SimTime at) {
+            target.sim().at(at, [&target, &loaded, sig, v] {
+                target.node(0).publish_signal(loaded.signal_index.at(sig.raw), v);
+            });
+        };
+        pub(app.call_sig, 1.0, 50 * rt::kMs);
+        pub(app.at_floor, 1.0, 200 * rt::kMs);
+        pub(app.call_sig, 0.0, 350 * rt::kMs);
+        pub(app.at_floor, 0.0, 360 * rt::kMs);
+        target.run_for(600 * rt::kMs);
+
+        std::cout << codegen::to_string(kind) << ":\n";
+        std::cout << "  injected: " << report->description << "\n";
+        const auto& divs = session.engine().divergences();
+        if (divs.empty()) {
+            std::cout << "  debugger: no structural divergence (fault changes values, "
+                         "visible in trace/timing diagram)\n";
+        } else {
+            std::cout << "  debugger: " << divs.size() << " divergence(s); first at t="
+                      << divs[0].t / rt::kMs << "ms: " << divs[0].message << "\n";
+        }
+    }
+
+    std::cout << "\nStructural faults (wrong transition target / initial state) are\n"
+                 "localized by the state-sequence checker; value-level faults show\n"
+                 "up in the recorded trace, timing diagram, and signal labels.\n";
+    return 0;
+}

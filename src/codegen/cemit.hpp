@@ -1,0 +1,36 @@
+// C source emitter: the human-visible half of model transformation.
+//
+// Generates a self-contained C translation unit for one actor:
+//   - a state struct (net values, FB internal state, SM states),
+//   - <actor>_init() and <actor>_step(state, in[], out[], dt),
+//   - the active command interface as GMDF_EMIT(...) call sites that
+//     compile to nothing unless GMDF_INSTRUMENT is defined (the paper's
+//     "extra functional code" added by the generator),
+//   - volatile mirror variables for the passive JTAG path.
+//
+// The emitted semantics match the SubProgram interpreter, with one
+// documented deviation: expression arithmetic is carried in double
+// throughout (pin values are doubles), so integer-literal division like
+// 3/2 evaluates to 1.5 rather than C's 1.
+#pragma once
+
+#include <string>
+
+#include "meta/model.hpp"
+
+namespace gmdf::codegen {
+
+struct CEmitOptions {
+    /// Emits a main() that reads "in0 in1 ..." lines from stdin and
+    /// prints outputs, for golden testing against the interpreter.
+    bool test_main = false;
+    /// Number of scans per run used by the test main (dt argument).
+    double dt = 0.001;
+};
+
+/// Emits the C translation unit for `actor`. Throws std::invalid_argument
+/// for model constructs that do not validate.
+[[nodiscard]] std::string emit_actor_c(const meta::Model& model, const meta::MObject& actor,
+                                       const CEmitOptions& options = {});
+
+} // namespace gmdf::codegen

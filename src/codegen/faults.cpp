@@ -1,0 +1,148 @@
+#include "codegen/faults.hpp"
+
+#include <random>
+
+#include "comdes/metamodel.hpp"
+
+namespace gmdf::codegen {
+
+using meta::MObject;
+using meta::Model;
+using meta::ObjectId;
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+    case FaultKind::WrongTransitionTarget: return "wrong-transition-target";
+    case FaultKind::WrongInitialState: return "wrong-initial-state";
+    case FaultKind::DropConnection: return "drop-connection";
+    case FaultKind::NegateGuard: return "negate-guard";
+    case FaultKind::FlipParamSign: return "flip-param-sign";
+    }
+    return "?";
+}
+
+std::vector<FaultKind> all_fault_kinds() {
+    return {FaultKind::WrongTransitionTarget, FaultKind::WrongInitialState,
+            FaultKind::DropConnection, FaultKind::NegateGuard, FaultKind::FlipParamSign};
+}
+
+namespace {
+
+template <typename T>
+const T* pick(const std::vector<T>& candidates, unsigned seed) {
+    if (candidates.empty()) return nullptr;
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::size_t> dist(0, candidates.size() - 1);
+    return &candidates[dist(rng)];
+}
+
+/// The SM FB containing a given transition/state (by containment).
+const MObject* owner_sm(const Model& model, ObjectId id) {
+    const MObject* c = model.container_of(id);
+    return c;
+}
+
+} // namespace
+
+std::optional<FaultReport> inject_fault(Model& model, FaultKind kind, unsigned seed) {
+    const auto& c = comdes::comdes_metamodel();
+    std::mt19937 rng(seed ^ 0x9E3779B9u);
+
+    switch (kind) {
+    case FaultKind::WrongTransitionTarget: {
+        std::vector<MObject*> transitions = model.all_of(*c.transition);
+        // Keep only transitions whose SM has an alternative target state.
+        std::vector<MObject*> usable;
+        for (MObject* t : transitions) {
+            const MObject* sm = owner_sm(model, t->id());
+            if (sm != nullptr && sm->refs("states").size() >= 2) usable.push_back(t);
+        }
+        const auto* victim = pick(usable, seed);
+        if (victim == nullptr) return std::nullopt;
+        MObject* t = *victim;
+        const MObject* sm = owner_sm(model, t->id());
+        auto states = sm->refs("states");
+        ObjectId old_to = t->ref("to");
+        std::vector<ObjectId> others;
+        for (ObjectId s : states)
+            if (!(s == old_to)) others.push_back(s);
+        ObjectId new_to = others[rng() % others.size()];
+        t->set_ref("to", new_to);
+        return FaultReport{kind, t->id(),
+                           "transition retargeted from state '" + model.at(old_to).name() +
+                               "' to '" + model.at(new_to).name() + "'"};
+    }
+    case FaultKind::WrongInitialState: {
+        std::vector<MObject*> sms = model.all_of(*c.sm_fb);
+        std::vector<MObject*> usable;
+        for (MObject* sm : sms)
+            if (sm->refs("states").size() >= 2) usable.push_back(sm);
+        const auto* victim = pick(usable, seed);
+        if (victim == nullptr) return std::nullopt;
+        MObject* sm = *victim;
+        ObjectId old_init = sm->ref("initial");
+        std::vector<ObjectId> others;
+        for (ObjectId s : sm->refs("states"))
+            if (!(s == old_init)) others.push_back(s);
+        ObjectId new_init = others[rng() % others.size()];
+        sm->set_ref("initial", new_init);
+        return FaultReport{kind, sm->id(),
+                           "SM '" + sm->name() + "' starts in '" + model.at(new_init).name() +
+                               "' instead of '" + model.at(old_init).name() + "'"};
+    }
+    case FaultKind::DropConnection: {
+        std::vector<MObject*> nets = model.all_of(*c.network);
+        std::vector<std::pair<MObject*, ObjectId>> conns;
+        for (MObject* net : nets)
+            for (ObjectId conn : net->refs("connections")) conns.emplace_back(net, conn);
+        const auto* victim = pick(conns, seed);
+        if (victim == nullptr) return std::nullopt;
+        auto [net, conn_id] = *victim;
+        const MObject& conn = model.at(conn_id);
+        std::string desc = "dropped connection " + model.at(conn.ref("from")).name() + "." +
+                           conn.attr("from_pin").as_string() + " -> " +
+                           model.at(conn.ref("to")).name() + "." +
+                           conn.attr("to_pin").as_string();
+        net->remove_ref("connections", conn_id);
+        model.destroy(conn_id);
+        return FaultReport{kind, conn_id, desc};
+    }
+    case FaultKind::NegateGuard: {
+        std::vector<MObject*> transitions = model.all_of(*c.transition);
+        std::vector<MObject*> usable;
+        for (MObject* t : transitions) {
+            const meta::Value& g = t->attr("guard");
+            if (g.is_string() && !g.as_string().empty()) usable.push_back(t);
+        }
+        const auto* victim = pick(usable, seed);
+        if (victim == nullptr) return std::nullopt;
+        MObject* t = *victim;
+        std::string old_guard = t->attr("guard").as_string();
+        t->set_attr("guard", meta::Value("!(" + old_guard + ")"));
+        return FaultReport{kind, t->id(), "guard '" + old_guard + "' negated"};
+    }
+    case FaultKind::FlipParamSign: {
+        std::vector<MObject*> basics = model.all_of(*c.basic_fb);
+        std::vector<MObject*> usable;
+        for (MObject* b : basics) {
+            const meta::Value& p = b->attr("params");
+            if (p.is_list() && !p.as_list().empty() &&
+                p.as_list()[0].as_number() != 0.0)
+                usable.push_back(b);
+        }
+        const auto* victim = pick(usable, seed);
+        if (victim == nullptr) return std::nullopt;
+        MObject* b = *victim;
+        auto list = b->attr("params").as_list();
+        double old_v = list[0].as_number();
+        list[0] = meta::Value(-old_v);
+        b->set_attr("params", meta::Value(std::move(list)));
+        return FaultReport{kind, b->id(),
+                           "param[0] of '" + b->name() + "' flipped from " +
+                               std::to_string(old_v) + " to " + std::to_string(-old_v)};
+    }
+    }
+    return std::nullopt;
+}
+
+} // namespace gmdf::codegen

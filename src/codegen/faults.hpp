@@ -1,0 +1,43 @@
+// Fault injection: emulated model-transformation bugs.
+//
+// The paper distinguishes *design errors* (model wrong w.r.t. the
+// requirements) from *implementation errors* (code wrong w.r.t. the
+// model, introduced by transformation/hybrid coding). To reproduce the
+// latter without a buggy generator, we mutate a clone of the model before
+// code generation; the debugger keeps the original, so runtime events
+// diverge from the design exactly like a transformation bug would.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "meta/model.hpp"
+
+namespace gmdf::codegen {
+
+enum class FaultKind {
+    WrongTransitionTarget, ///< retarget one transition to another state
+    WrongInitialState,     ///< start an SM in a non-initial state
+    DropConnection,        ///< lose one dataflow connection
+    NegateGuard,           ///< invert one transition guard
+    FlipParamSign,         ///< negate a BasicFB parameter
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// All kinds, for sweeps.
+[[nodiscard]] std::vector<FaultKind> all_fault_kinds();
+
+struct FaultReport {
+    FaultKind kind;
+    meta::ObjectId element; ///< mutated object
+    std::string description;
+};
+
+/// Applies one fault of `kind` to `model` (mutating it), choosing the
+/// victim element deterministically from `seed`. Returns nullopt when the
+/// model has no applicable element (e.g. no guards to negate).
+std::optional<FaultReport> inject_fault(meta::Model& model, FaultKind kind, unsigned seed);
+
+} // namespace gmdf::codegen

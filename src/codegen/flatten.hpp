@@ -1,0 +1,44 @@
+// Model flattening: COMDES networks -> executable SubPrograms.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "codegen/program.hpp"
+#include "meta/model.hpp"
+
+namespace gmdf::codegen {
+
+/// Binds an external index to a block pin inside a network.
+struct ExtBinding {
+    std::string fb;   ///< block name within the network
+    std::string pin;  ///< pin name on that block
+    int ext_index;    ///< index into the external input/output span
+};
+
+/// Flattens `network` into a SubProgram.
+///  - `inputs` drive block input pins from external values;
+///  - `outputs` sample block output pins into external values;
+///  - composite/modal blocks become kernels owning nested SubPrograms;
+///  - step order is a topological order of the dataflow (edges leaving
+///    delay_ blocks are relaxed, matching the validation rule);
+///  - `observer` (may be null) receives SM and mode-change events from
+///    any nesting depth.
+/// Throws std::invalid_argument on unresolvable names/pins or a
+/// combinational cycle (validate_comdes reports these up front).
+[[nodiscard]] SubProgram flatten_network(const meta::Model& model,
+                                         const meta::MObject& network,
+                                         std::span<const ExtBinding> inputs,
+                                         std::span<const ExtBinding> outputs,
+                                         ProgramObserver* observer);
+
+/// Flattens a whole actor using its ActorInput/ActorOutput bindings.
+/// External input order = the actor's `inputs` list order; likewise for
+/// outputs (the loader aligns rt::TaskConfig signal lists with these).
+[[nodiscard]] SubProgram flatten_actor(const meta::Model& model, const meta::MObject& actor,
+                                       ProgramObserver* observer);
+
+/// Static WCET-style cycle estimate for one scan of `p`.
+[[nodiscard]] std::uint64_t static_cost(const SubProgram& p);
+
+} // namespace gmdf::codegen

@@ -1,0 +1,124 @@
+#include "comdes/metamodel.hpp"
+
+#include "comdes/fblib.hpp"
+
+namespace gmdf::comdes {
+
+namespace {
+
+void build(ComdesMeta& c) {
+    auto& mm = c.mm;
+
+    c.signal_type = &mm.add_enum("SignalType", {"bool_", "int_", "real_"});
+    c.port_dir = &mm.add_enum("PortDir", {"in", "out"});
+    c.basic_kind = &mm.add_enum("BasicKind", basic_kind_names());
+
+    c.named = &mm.add_class("NamedElement", /*is_abstract=*/true);
+    mm.add_attribute(*c.named, meta::attr_string("name", /*required=*/true));
+
+    c.signal = &mm.add_class("Signal", false, c.named);
+    mm.add_attribute(*c.signal,
+                     meta::attr_enum("type", *c.signal_type, true, meta::Value("real_")));
+    mm.add_attribute(*c.signal, meta::attr_real("init", false, meta::Value(0.0)));
+    mm.add_attribute(*c.signal, meta::attr_string("unit"));
+
+    c.function_block = &mm.add_class("FunctionBlock", true, c.named);
+
+    c.connection = &mm.add_class("Connection");
+    mm.add_attribute(*c.connection, meta::attr_string("from_pin", true));
+    mm.add_attribute(*c.connection, meta::attr_string("to_pin", true));
+    mm.add_reference(*c.connection, meta::ref_plain("from", *c.function_block, 1, 1));
+    mm.add_reference(*c.connection, meta::ref_plain("to", *c.function_block, 1, 1));
+
+    c.network = &mm.add_class("Network");
+    mm.add_reference(*c.network, meta::ref_contain("blocks", *c.function_block));
+    mm.add_reference(*c.network, meta::ref_contain("connections", *c.connection));
+
+    c.basic_fb = &mm.add_class("BasicFB", false, c.function_block);
+    mm.add_attribute(*c.basic_fb, meta::attr_enum("kind", *c.basic_kind, true));
+    // Numeric parameters, meaning depends on the kind (gain, limits, PID
+    // coefficients, ...). See fblib.hpp for the per-kind layout.
+    mm.add_attribute(*c.basic_fb, {"params", meta::AttrType::ListReal, nullptr, false, {}});
+    // Expression source for kind == expression_.
+    mm.add_attribute(*c.basic_fb, meta::attr_string("expr"));
+
+    c.port_map = &mm.add_class("PortMap");
+    mm.add_attribute(*c.port_map, meta::attr_string("outer_pin", true));
+    mm.add_attribute(*c.port_map, meta::attr_string("inner_fb", true));
+    mm.add_attribute(*c.port_map, meta::attr_string("inner_pin", true));
+    mm.add_attribute(*c.port_map, meta::attr_enum("direction", *c.port_dir, true));
+
+    c.composite_fb = &mm.add_class("CompositeFB", false, c.function_block);
+    mm.add_reference(*c.composite_fb, meta::ref_contain("network", *c.network, 1, 1));
+    mm.add_reference(*c.composite_fb, meta::ref_contain("port_maps", *c.port_map));
+
+    c.mode = &mm.add_class("Mode", false, c.named);
+    mm.add_attribute(*c.mode, meta::attr_int("value", true));
+    mm.add_reference(*c.mode, meta::ref_contain("network", *c.network, 1, 1));
+    mm.add_reference(*c.mode, meta::ref_contain("port_maps", *c.port_map));
+
+    c.modal_fb = &mm.add_class("ModalFB", false, c.function_block);
+    mm.add_attribute(*c.modal_fb,
+                     meta::attr_string("selector_pin", true, meta::Value("mode")));
+    mm.add_reference(*c.modal_fb, meta::ref_contain("modes", *c.mode, 1, -1));
+
+    c.assignment = &mm.add_class("Assignment");
+    mm.add_attribute(*c.assignment, meta::attr_string("target", true));
+    mm.add_attribute(*c.assignment, meta::attr_string("expr", true));
+
+    c.state = &mm.add_class("State", false, c.named);
+    mm.add_reference(*c.state, meta::ref_contain("entry_actions", *c.assignment));
+
+    c.transition = &mm.add_class("Transition");
+    mm.add_attribute(*c.transition, meta::attr_string("event"));
+    mm.add_attribute(*c.transition, meta::attr_string("guard"));
+    mm.add_attribute(*c.transition, meta::attr_int("priority", false, meta::Value(0)));
+    mm.add_reference(*c.transition, meta::ref_plain("from", *c.state, 1, 1));
+    mm.add_reference(*c.transition, meta::ref_plain("to", *c.state, 1, 1));
+    mm.add_reference(*c.transition, meta::ref_contain("actions", *c.assignment));
+
+    c.sm_fb = &mm.add_class("StateMachineFB", false, c.function_block);
+    mm.add_attribute(*c.sm_fb, {"inputs", meta::AttrType::ListString, nullptr, false, {}});
+    mm.add_attribute(*c.sm_fb, {"outputs", meta::AttrType::ListString, nullptr, false, {}});
+    mm.add_reference(*c.sm_fb, meta::ref_contain("states", *c.state, 1, -1));
+    mm.add_reference(*c.sm_fb, meta::ref_contain("transitions", *c.transition));
+    mm.add_reference(*c.sm_fb, meta::ref_plain("initial", *c.state, 1, 1));
+
+    c.actor_input = &mm.add_class("ActorInput");
+    mm.add_attribute(*c.actor_input, meta::attr_string("fb", true));
+    mm.add_attribute(*c.actor_input, meta::attr_string("pin", true));
+    mm.add_reference(*c.actor_input, meta::ref_plain("signal", *c.signal, 1, 1));
+
+    c.actor_output = &mm.add_class("ActorOutput");
+    mm.add_attribute(*c.actor_output, meta::attr_string("fb", true));
+    mm.add_attribute(*c.actor_output, meta::attr_string("pin", true));
+    mm.add_reference(*c.actor_output, meta::ref_plain("signal", *c.signal, 1, 1));
+
+    c.actor = &mm.add_class("Actor", false, c.named);
+    mm.add_attribute(*c.actor, meta::attr_int("period_us", true));
+    // deadline_us == 0 means "equals the period".
+    mm.add_attribute(*c.actor, meta::attr_int("deadline_us", false, meta::Value(0)));
+    mm.add_attribute(*c.actor, meta::attr_int("node", false, meta::Value(0)));
+    mm.add_attribute(*c.actor, meta::attr_int("priority", false, meta::Value(0)));
+    mm.add_reference(*c.actor, meta::ref_contain("network", *c.network, 1, 1));
+    mm.add_reference(*c.actor, meta::ref_contain("inputs", *c.actor_input));
+    mm.add_reference(*c.actor, meta::ref_contain("outputs", *c.actor_output));
+
+    c.system = &mm.add_class("System", false, c.named);
+    mm.add_reference(*c.system, meta::ref_contain("signals", *c.signal));
+    mm.add_reference(*c.system, meta::ref_contain("actors", *c.actor));
+
+}
+
+struct BuiltComdesMeta : ComdesMeta {
+    BuiltComdesMeta() { build(*this); }
+};
+
+} // namespace
+
+const ComdesMeta& comdes_metamodel() {
+    static const BuiltComdesMeta instance;
+    return instance;
+}
+
+} // namespace gmdf::comdes

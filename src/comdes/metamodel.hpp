@@ -1,0 +1,70 @@
+// The COMDES metamodel (Angelov et al.), expressed over the meta:: core.
+//
+// COMDES models a distributed control application as a network of actors
+// that exchange labeled signals (non-blocking state messages). Each actor
+// owns a function-block network configured from prefabricated components:
+// basic (signal-processing) FBs, composite FBs, modal FBs, and
+// state-machine FBs. Actors execute under Distributed Timed Multitasking:
+// inputs are latched when a task is released and outputs are latched at
+// its deadline, eliminating I/O jitter.
+//
+// Class hierarchy (containment in brackets):
+//   NamedElement (abstract)
+//     System        [signals: Signal*, actors: Actor*]
+//     Signal        (type, init)
+//     Actor         (period_us, deadline_us, node, priority)
+//                   [network: Network, inputs: ActorInput*, outputs: ActorOutput*]
+//     ActorInput    (fb, pin) -> signal       : latch signal into a pin
+//     ActorOutput   (fb, pin) -> signal       : latch a pin into a signal
+//     Network       [blocks: FunctionBlock*, connections: Connection*]
+//     FunctionBlock (abstract)
+//       BasicFB     (kind, params, expr)
+//       CompositeFB [network: Network, port_maps: PortMap*]
+//       ModalFB     (selector_pin) [modes: Mode*]
+//       StateMachineFB (inputs, outputs) [states: State*, transitions: Transition*]
+//                   -> initial: State
+//     Mode          (value) [network: Network, port_maps: PortMap*]
+//     PortMap       (outer_pin, inner_fb, inner_pin, direction)
+//     State         [entry_actions: Assignment*]
+//     Transition    (event, guard, priority) -> from, to  [actions: Assignment*]
+//     Assignment    (target, expr)
+//     Connection    (from_pin, to_pin) -> from: FunctionBlock, to: FunctionBlock
+#pragma once
+
+#include "meta/metamodel.hpp"
+
+namespace gmdf::comdes {
+
+/// Handles to every COMDES metaclass and enum; returned by
+/// comdes_metamodel(). Pointers remain valid for the program lifetime.
+struct ComdesMeta {
+    meta::Metamodel mm{"comdes"};
+
+    const meta::MetaEnum* signal_type = nullptr; // bool_ | int_ | real_
+    const meta::MetaEnum* basic_kind = nullptr;  // FB kind literals, see fblib.hpp
+    const meta::MetaEnum* port_dir = nullptr;    // in | out
+
+    meta::MetaClass* named = nullptr;
+    meta::MetaClass* system = nullptr;
+    meta::MetaClass* signal = nullptr;
+    meta::MetaClass* actor = nullptr;
+    meta::MetaClass* actor_input = nullptr;
+    meta::MetaClass* actor_output = nullptr;
+    meta::MetaClass* network = nullptr;
+    meta::MetaClass* function_block = nullptr;
+    meta::MetaClass* basic_fb = nullptr;
+    meta::MetaClass* composite_fb = nullptr;
+    meta::MetaClass* modal_fb = nullptr;
+    meta::MetaClass* sm_fb = nullptr;
+    meta::MetaClass* mode = nullptr;
+    meta::MetaClass* port_map = nullptr;
+    meta::MetaClass* state = nullptr;
+    meta::MetaClass* transition = nullptr;
+    meta::MetaClass* assignment = nullptr;
+    meta::MetaClass* connection = nullptr;
+};
+
+/// The process-wide COMDES metamodel (built on first use, immutable after).
+[[nodiscard]] const ComdesMeta& comdes_metamodel();
+
+} // namespace gmdf::comdes

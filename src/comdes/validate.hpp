@@ -1,0 +1,23 @@
+// COMDES domain validation (beyond metamodel conformance).
+#pragma once
+
+#include "meta/diagnostics.hpp"
+#include "meta/model.hpp"
+
+namespace gmdf::comdes {
+
+/// Checks domain rules over a COMDES model:
+///  - unique names for signals / actors / blocks within one network
+///  - connections reference blocks of the same network and existing pins
+///  - each input pin is driven by at most one connection or binding
+///  - actor input/output bindings name existing blocks and pins
+///  - deadline <= period, period > 0
+///  - state machines: transition endpoints belong to the machine, events
+///    name declared bool inputs, guards/actions parse, every state is
+///    reachable from the initial state
+///  - dataflow (excluding delay_ blocks, which break cycles) is acyclic
+///  - expression blocks parse
+/// Runs meta::validate first and appends its findings.
+[[nodiscard]] meta::Diagnostics validate_comdes(const meta::Model& model);
+
+} // namespace gmdf::comdes

@@ -1,0 +1,168 @@
+#include "core/abstraction.hpp"
+
+#include "core/gdm.hpp"
+
+namespace gmdf::core {
+
+using meta::MObject;
+using meta::Model;
+using meta::ObjectId;
+
+void MappingTable::pair(const std::string& class_name, GdmPattern pattern) {
+    for (auto& [name, p] : pairings_) {
+        if (name == class_name) {
+            p = pattern;
+            return;
+        }
+    }
+    pairings_.emplace_back(class_name, pattern);
+}
+
+bool MappingTable::unpair(const std::string& class_name) {
+    for (auto it = pairings_.begin(); it != pairings_.end(); ++it) {
+        if (it->first == class_name) {
+            pairings_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+const GdmPattern* MappingTable::lookup(const meta::MetaClass& cls) const {
+    for (const meta::MetaClass* c = &cls; c != nullptr; c = c->super()) {
+        for (const auto& [name, p] : pairings_)
+            if (name == c->name()) return &p;
+    }
+    return nullptr;
+}
+
+MappingTable comdes_default_mapping() {
+    MappingTable t;
+    GdmPattern state{render::Shape::Circle, false, "", "", "name", 90, 44};
+    t.pair("State", state);
+
+    GdmPattern transition;
+    transition.as_edge = true;
+    transition.shape = render::Shape::Arrow;
+    transition.label_attr = "event";
+    t.pair("Transition", transition);
+
+    GdmPattern sm{render::Shape::Rectangle, false, "", "", "name", 130, 50};
+    t.pair("StateMachineFB", sm);
+    t.pair("ModalFB", sm);
+    t.pair("CompositeFB", sm);
+    GdmPattern mode{render::Shape::Circle, false, "", "", "name", 80, 40};
+    t.pair("Mode", mode);
+
+    GdmPattern fb{render::Shape::Rectangle, false, "", "", "name", 110, 44};
+    t.pair("BasicFB", fb);
+
+    GdmPattern conn;
+    conn.as_edge = true;
+    conn.shape = render::Shape::Line;
+    conn.label_attr = "from_pin";
+    t.pair("Connection", conn);
+
+    GdmPattern actor{render::Shape::Rectangle, false, "", "", "name", 150, 56};
+    t.pair("Actor", actor);
+
+    GdmPattern signal{render::Shape::Diamond, false, "", "", "name", 95, 42};
+    t.pair("Signal", signal);
+    return t;
+}
+
+AbstractionResult abstract_model(const Model& input, const MappingTable& mapping,
+                                 const render::LayoutOptions& layout) {
+    const GdmMeta& g = gdm_metamodel();
+    AbstractionResult result{Model(g.mm), {}, 0, 0, 0};
+
+    auto& root = result.gdm.create(*g.debug_model);
+    root.set_attr("name", meta::Value("debug_model"));
+    root.set_attr("source_id", meta::Value(static_cast<std::int64_t>(0)));
+
+    std::map<std::uint64_t, ObjectId> gdm_node_of; // source id -> GdmNode
+
+    auto label_of = [&](const MObject& obj, const GdmPattern& p) -> std::string {
+        if (obj.meta_class().find_attribute(p.label_attr) != nullptr) {
+            const meta::Value& v = obj.attr(p.label_attr);
+            if (v.is_string()) return v.as_string();
+            if (!v.is_null()) return v.to_string();
+        }
+        return obj.meta_class().name();
+    };
+
+    // Pass 1: nodes.
+    for (ObjectId id : input.ids()) {
+        const MObject& obj = input.at(id);
+        const GdmPattern* p = mapping.lookup(obj.meta_class());
+        if (p == nullptr) {
+            ++result.skipped;
+            continue;
+        }
+        if (p->as_edge) continue;
+        auto& gn = result.gdm.create(*g.node);
+        gn.set_attr("name", meta::Value(obj.name().empty() ? obj.meta_class().name()
+                                                           : obj.name()));
+        gn.set_attr("source_id", meta::Value(static_cast<std::int64_t>(id.raw)));
+        gn.set_attr("shape", meta::Value(render::to_string(p->shape)));
+        gn.set_attr("w", meta::Value(p->w));
+        gn.set_attr("h", meta::Value(p->h));
+        gn.set_attr("label", meta::Value(label_of(obj, *p)));
+        root.add_ref("elements", gn.id());
+        gdm_node_of[id.raw] = gn.id();
+
+        render::SceneNode sn;
+        sn.id = id.raw;
+        sn.shape = p->shape;
+        sn.rect = {0, 0, p->w, p->h};
+        sn.label = label_of(obj, *p);
+        const MObject* container = input.container_of(id);
+        if (container != nullptr && mapping.lookup(container->meta_class()) != nullptr)
+            sn.group = container->id().raw;
+        result.scene.add_node(sn);
+        ++result.mapped_nodes;
+    }
+
+    // Pass 2: edges (endpoints must both be mapped nodes).
+    for (ObjectId id : input.ids()) {
+        const MObject& obj = input.at(id);
+        const GdmPattern* p = mapping.lookup(obj.meta_class());
+        if (p == nullptr || !p->as_edge) continue;
+        ObjectId from = obj.ref(p->from_ref);
+        ObjectId to = obj.ref(p->to_ref);
+        auto fi = gdm_node_of.find(from.raw);
+        auto ti = gdm_node_of.find(to.raw);
+        if (fi == gdm_node_of.end() || ti == gdm_node_of.end()) {
+            ++result.skipped;
+            continue;
+        }
+        auto& ge = result.gdm.create(*g.edge);
+        ge.set_attr("name", meta::Value("edge_" + std::to_string(id.raw)));
+        ge.set_attr("source_id", meta::Value(static_cast<std::int64_t>(id.raw)));
+        ge.set_ref("from", fi->second);
+        ge.set_ref("to", ti->second);
+        ge.set_attr("label", meta::Value(label_of(obj, *p)));
+        root.add_ref("elements", ge.id());
+
+        render::SceneEdge se;
+        se.id = id.raw;
+        se.from = from.raw;
+        se.to = to.raw;
+        se.label = label_of(obj, *p);
+        if (se.label == obj.meta_class().name()) se.label.clear();
+        result.scene.add_edge(se);
+        ++result.mapped_edges;
+    }
+
+    // Geometry back-annotation after layout.
+    render::auto_layout(result.scene, layout);
+    for (auto& [src, gdm_id] : gdm_node_of) {
+        const render::SceneNode* sn = result.scene.find_node(src);
+        MObject& gn = result.gdm.at(gdm_id);
+        gn.set_attr("x", meta::Value(sn->rect.x));
+        gn.set_attr("y", meta::Value(sn->rect.y));
+    }
+    return result;
+}
+
+} // namespace gmdf::core

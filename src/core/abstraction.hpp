@@ -1,0 +1,78 @@
+// Model abstraction: user model -> Graphical Debugger Model (paper Fig. 4).
+//
+// The user pairs input-metamodel elements with GDM patterns ("the
+// meta-model element list ... choose the corresponding GDM pattern ...
+// displayed in the existing pairing list"). Once the mapping is finished,
+// the GDM is obtained automatically: a gdm:: model plus a render scene
+// whose item ids are input-model element ids (which is what commands on
+// the wire carry).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "meta/model.hpp"
+#include "render/layout.hpp"
+#include "render/scene.hpp"
+
+namespace gmdf::core {
+
+/// How instances of one input metaclass are displayed.
+struct GdmPattern {
+    render::Shape shape = render::Shape::Rectangle;
+    /// Edge patterns connect two mapped elements instead of drawing a node.
+    bool as_edge = false;
+    std::string from_ref = "from"; ///< reference naming the edge source
+    std::string to_ref = "to";     ///< reference naming the edge target
+    std::string label_attr = "name";
+    double w = 120, h = 48;
+};
+
+/// The pairing list behind the abstraction guide UI.
+class MappingTable {
+public:
+    /// Adds or replaces the pairing for `class_name`.
+    void pair(const std::string& class_name, GdmPattern pattern);
+
+    /// Removes a pairing; false when absent.
+    bool unpair(const std::string& class_name);
+
+    /// Pattern for a class, resolved through the inheritance chain;
+    /// nullptr when neither the class nor any superclass is paired.
+    [[nodiscard]] const GdmPattern* lookup(const meta::MetaClass& cls) const;
+
+    /// The pairing list in insertion order (what the UI displays).
+    [[nodiscard]] const std::vector<std::pair<std::string, GdmPattern>>& pairings() const {
+        return pairings_;
+    }
+
+    [[nodiscard]] std::size_t size() const { return pairings_.size(); }
+
+private:
+    std::vector<std::pair<std::string, GdmPattern>> pairings_;
+};
+
+/// The ready-made mapping for COMDES design models (what the prototype
+/// ships with): states as circles, transitions as arrows, function
+/// blocks/actors as rectangles, signals as diamonds, connections as lines.
+[[nodiscard]] MappingTable comdes_default_mapping();
+
+/// Everything the abstraction step produces.
+struct AbstractionResult {
+    meta::Model gdm;            ///< serializable debug model (gdm metamodel)
+    render::Scene scene;        ///< drawable form; item ids = source element ids
+    std::size_t mapped_nodes = 0;
+    std::size_t mapped_edges = 0;
+    std::size_t skipped = 0;    ///< input objects without a pairing
+};
+
+/// Runs the abstraction: every input object whose class (or superclass)
+/// is paired becomes a GDM node or edge. Edge endpoints must resolve to
+/// mapped node elements or the edge is skipped. The scene is auto-laid-out.
+[[nodiscard]] AbstractionResult abstract_model(const meta::Model& input,
+                                               const MappingTable& mapping,
+                                               const render::LayoutOptions& layout = {});
+
+} // namespace gmdf::core

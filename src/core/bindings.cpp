@@ -1,0 +1,15 @@
+#include "core/bindings.hpp"
+
+namespace gmdf::core {
+
+const char* to_string(ReactionType r) {
+    switch (r) {
+    case ReactionType::None: return "none";
+    case ReactionType::Highlight: return "highlight";
+    case ReactionType::Pulse: return "pulse";
+    case ReactionType::LabelUpdate: return "label_update";
+    }
+    return "?";
+}
+
+} // namespace gmdf::core

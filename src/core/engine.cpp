@@ -1,0 +1,287 @@
+#include "core/engine.hpp"
+
+#include <cmath>
+
+#include "comdes/metamodel.hpp"
+#include "expr/eval.hpp"
+
+namespace gmdf::core {
+
+using meta::MObject;
+using meta::ObjectId;
+
+const char* to_string(EngineState s) {
+    switch (s) {
+    case EngineState::Waiting: return "waiting";
+    case EngineState::Animating: return "animating";
+    case EngineState::Paused: return "paused";
+    }
+    return "?";
+}
+
+DebuggerEngine::DebuggerEngine(const meta::Model& design, render::Scene& scene)
+    : design_(&design), scene_(&scene) {
+    // Pre-index signal names for predicate breakpoints.
+    const auto& c = comdes::comdes_metamodel();
+    if (&design.metamodel() == &c.mm) {
+        for (const MObject* sig : design.all_of(*c.signal))
+            signal_by_name_[sig->name()] = sig->id().raw;
+    }
+}
+
+void DebuggerEngine::ingest(const link::Command& cmd, rt::SimTime t) {
+    ++stats_.commands;
+    trace_.record(cmd, t);
+    if (state_ == EngineState::Waiting) state_ = EngineState::Animating;
+
+    // Time-based highlight decay (the animation "cools off" between events).
+    if (half_life_ > 0 && last_event_t_ > 0 && t > last_event_t_) {
+        double halves = static_cast<double>(t - last_event_t_) /
+                        static_cast<double>(half_life_);
+        scene_->decay_highlights(std::pow(0.5, halves));
+    }
+
+    // Track model-level state before reactions so breakpoints and
+    // consistency checks see the up-to-date picture.
+    if (cmd.kind == link::Cmd::SignalUpdate)
+        signal_values_[cmd.a] = static_cast<double>(cmd.value);
+
+    check_consistency(cmd, t);
+    apply_reaction(cmd);
+
+    if (cmd.kind == link::Cmd::StateEnter || cmd.kind == link::Cmd::ModeChange)
+        current_state_[cmd.a] = cmd.b;
+
+    if (pause_on_next_command_) {
+        pause_on_next_command_ = false;
+        state_ = EngineState::Paused;
+        if (control_.pause) control_.pause();
+    } else {
+        check_breakpoints(cmd, t);
+    }
+    last_event_t_ = t;
+}
+
+void DebuggerEngine::apply_reaction(const link::Command& cmd) {
+    ReactionSpec spec = bindings_.lookup(cmd.kind);
+    switch (spec.type) {
+    case ReactionType::None: return;
+    case ReactionType::Highlight: {
+        std::uint64_t element = cmd.kind == link::Cmd::StateEnter ||
+                                        cmd.kind == link::Cmd::ModeChange
+                                    ? cmd.b
+                                    : cmd.a;
+        if (spec.exclusive) highlight_exclusive(element, cmd.a);
+        render::SceneNode* node = scene_->find_node(element);
+        if (node != nullptr) {
+            node->style.highlighted = true;
+            node->style.intensity = 1.0;
+            ++stats_.reactions;
+            ++stats_.frames;
+        }
+        break;
+    }
+    case ReactionType::Pulse: {
+        render::SceneEdge* edge = scene_->find_edge(cmd.b != 0 ? cmd.b : cmd.a);
+        if (edge != nullptr) {
+            edge->style.highlighted = true;
+            edge->style.intensity = 1.0;
+            ++stats_.reactions;
+            ++stats_.frames;
+        }
+        break;
+    }
+    case ReactionType::LabelUpdate: {
+        render::SceneNode* node = scene_->find_node(cmd.a);
+        if (node != nullptr) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.4g", static_cast<double>(cmd.value));
+            node->sublabel = buf;
+            ++stats_.reactions;
+            ++stats_.frames;
+        }
+        break;
+    }
+    }
+}
+
+void DebuggerEngine::highlight_exclusive(std::uint64_t element, std::uint64_t owner) {
+    // Un-highlight sibling states: every node whose design-model container
+    // is `owner` (the machine/modal FB named in the command).
+    (void)element;
+    const MObject* owner_obj = design_->get(ObjectId{owner});
+    if (owner_obj == nullptr) return;
+    for (const meta::MetaReference* r : owner_obj->meta_class().all_references()) {
+        if (!r->containment) continue;
+        for (ObjectId child : owner_obj->refs(r->name)) {
+            render::SceneNode* node = scene_->find_node(child.raw);
+            if (node != nullptr) {
+                node->style.highlighted = false;
+                node->style.intensity = 0.0;
+            }
+        }
+    }
+}
+
+void DebuggerEngine::check_consistency(const link::Command& cmd, rt::SimTime t) {
+    const auto& c = comdes::comdes_metamodel();
+    if (&design_->metamodel() != &c.mm) return; // generic models: no domain checks
+
+    auto diverge = [&](std::string msg) {
+        divergences_.push_back({t, cmd, std::move(msg)});
+    };
+
+    if (cmd.kind == link::Cmd::Transition) {
+        const MObject* tr = design_->get(ObjectId{cmd.b});
+        if (tr == nullptr || !tr->meta_class().is_subtype_of(*c.transition)) {
+            diverge("TRANSITION names element #" + std::to_string(cmd.b) +
+                    " which is not a transition in the design model");
+            return;
+        }
+        auto cur = current_state_.find(cmd.a);
+        if (cur != current_state_.end() && tr->ref("from").raw != cur->second)
+            diverge("transition '" + std::to_string(cmd.b) + "' fired from state #" +
+                    std::to_string(cur->second) + " but the design model sources it at #" +
+                    std::to_string(tr->ref("from").raw));
+        pending_transition_[cmd.a] = cmd.b;
+        return;
+    }
+
+    if (cmd.kind == link::Cmd::StateEnter) {
+        const MObject* sm = design_->get(ObjectId{cmd.a});
+        const MObject* state = design_->get(ObjectId{cmd.b});
+        if (sm == nullptr || state == nullptr ||
+            !sm->meta_class().is_subtype_of(*c.sm_fb) ||
+            !state->meta_class().is_subtype_of(*c.state)) {
+            diverge("STATE_ENTER names unknown elements");
+            return;
+        }
+        bool member = false;
+        for (ObjectId s : sm->refs("states"))
+            if (s.raw == cmd.b) member = true;
+        if (!member) {
+            diverge("state '" + state->name() + "' is not part of machine '" + sm->name() +
+                    "'");
+            return;
+        }
+        auto pend = pending_transition_.find(cmd.a);
+        if (pend != pending_transition_.end()) {
+            const MObject* tr = design_->get(ObjectId{pend->second});
+            if (tr != nullptr && tr->ref("to").raw != cmd.b)
+                diverge("transition #" + std::to_string(pend->second) +
+                        " should enter state #" + std::to_string(tr->ref("to").raw) +
+                        " but the target entered '" + state->name() + "'");
+            pending_transition_.erase(pend);
+            return;
+        }
+        auto cur = current_state_.find(cmd.a);
+        if (cur == current_state_.end()) {
+            // First entry must be the design model's initial state.
+            if (sm->ref("initial").raw != cmd.b)
+                diverge("machine '" + sm->name() + "' started in '" + state->name() +
+                        "' but the design model starts in '" +
+                        design_->at(sm->ref("initial")).name() + "'");
+            return;
+        }
+        if (cur->second == cmd.b) return; // re-entry reported passively
+        // No TRANSITION command seen (passive mode): require that some
+        // design transition connects the two states.
+        bool connected = false;
+        for (ObjectId t_id : sm->refs("transitions")) {
+            const MObject& tr = design_->at(t_id);
+            if (tr.ref("from").raw == cur->second && tr.ref("to").raw == cmd.b)
+                connected = true;
+        }
+        if (!connected)
+            diverge("machine '" + sm->name() + "' jumped from state #" +
+                    std::to_string(cur->second) + " to '" + state->name() +
+                    "' without a design-model transition");
+    }
+}
+
+void DebuggerEngine::check_breakpoints(const link::Command& cmd, rt::SimTime t) {
+    for (auto it = breaks_.begin(); it != breaks_.end();) {
+        const Breakpoint& bp = it->second;
+        bool hit = false;
+        if (bp.enabled) {
+            switch (bp.kind) {
+            case Breakpoint::Kind::StateEnter:
+                hit = cmd.kind == link::Cmd::StateEnter && cmd.b == bp.element.raw;
+                break;
+            case Breakpoint::Kind::TransitionFired:
+                hit = cmd.kind == link::Cmd::Transition && cmd.b == bp.element.raw;
+                break;
+            case Breakpoint::Kind::SignalPredicate: {
+                if (cmd.kind != link::Cmd::SignalUpdate) break;
+                try {
+                    auto ast = expr::parse(bp.predicate);
+                    hit = expr::eval_bool(*ast, [&](std::string_view name) -> meta::Value {
+                        auto sit = signal_by_name_.find(std::string(name));
+                        if (sit == signal_by_name_.end()) return {};
+                        auto vit = signal_values_.find(sit->second);
+                        return vit == signal_values_.end() ? meta::Value(0.0)
+                                                           : meta::Value(vit->second);
+                    });
+                } catch (const std::exception&) {
+                    hit = false; // malformed predicates never fire
+                }
+                break;
+            }
+            }
+        }
+        if (hit) {
+            int handle = it->first;
+            bool one_shot = bp.one_shot;
+            hit_breakpoint(handle, cmd, t);
+            if (one_shot)
+                it = breaks_.erase(it);
+            else
+                ++it;
+            return; // at most one break per command
+        }
+        ++it;
+    }
+}
+
+void DebuggerEngine::hit_breakpoint(int handle, const link::Command& cmd, rt::SimTime t) {
+    (void)handle;
+    (void)cmd;
+    (void)t;
+    ++stats_.breakpoints_hit;
+    state_ = EngineState::Paused;
+    if (control_.pause) control_.pause();
+}
+
+void DebuggerEngine::resume() {
+    if (state_ != EngineState::Paused) return;
+    state_ = EngineState::Animating;
+    if (control_.resume) control_.resume();
+}
+
+void DebuggerEngine::step() {
+    if (state_ != EngineState::Paused) return;
+    pause_on_next_command_ = true;
+    if (control_.step) control_.step();
+}
+
+int DebuggerEngine::add_breakpoint(Breakpoint bp) {
+    int handle = next_break_++;
+    breaks_.emplace(handle, std::move(bp));
+    return handle;
+}
+
+bool DebuggerEngine::remove_breakpoint(int handle) { return breaks_.erase(handle) > 0; }
+
+std::optional<double> DebuggerEngine::signal_value(ObjectId signal) const {
+    auto it = signal_values_.find(signal.raw);
+    if (it == signal_values_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<ObjectId> DebuggerEngine::current_state(ObjectId sm) const {
+    auto it = current_state_.find(sm.raw);
+    if (it == current_state_.end()) return std::nullopt;
+    return ObjectId{it->second};
+}
+
+} // namespace gmdf::core

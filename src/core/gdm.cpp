@@ -1,0 +1,57 @@
+#include "core/gdm.hpp"
+
+namespace gmdf::core {
+
+namespace {
+
+void build(GdmMeta& g) {
+    auto& mm = g.mm;
+    g.shape = &mm.add_enum("GdmShape",
+                           {"Rectangle", "Circle", "Triangle", "Diamond", "Line", "Arrow"});
+    g.reaction = &mm.add_enum("GdmReaction", {"highlight", "pulse", "label_update", "none"});
+    g.command = &mm.add_enum("GdmCommand",
+                             {"HELLO", "TASK_START", "TASK_END", "STATE_ENTER", "TRANSITION",
+                              "SIGNAL_UPDATE", "MODE_CHANGE"});
+
+    g.element = &mm.add_class("GdmElement", /*is_abstract=*/true);
+    mm.add_attribute(*g.element, meta::attr_string("name", true));
+    // Identity of the input-model element this GDM element visualizes:
+    // the key commands carry on the wire.
+    mm.add_attribute(*g.element, meta::attr_int("source_id", true));
+
+    g.node = &mm.add_class("GdmNode", false, g.element);
+    mm.add_attribute(*g.node, meta::attr_enum("shape", *g.shape, true,
+                                              meta::Value("Rectangle")));
+    mm.add_attribute(*g.node, meta::attr_real("x", false, meta::Value(0.0)));
+    mm.add_attribute(*g.node, meta::attr_real("y", false, meta::Value(0.0)));
+    mm.add_attribute(*g.node, meta::attr_real("w", false, meta::Value(120.0)));
+    mm.add_attribute(*g.node, meta::attr_real("h", false, meta::Value(48.0)));
+    mm.add_attribute(*g.node, meta::attr_string("label"));
+    mm.add_attribute(*g.node, meta::attr_int("group", false, meta::Value(0)));
+
+    g.edge = &mm.add_class("GdmEdge", false, g.element);
+    mm.add_reference(*g.edge, meta::ref_plain("from", *g.node, 1, 1));
+    mm.add_reference(*g.edge, meta::ref_plain("to", *g.node, 1, 1));
+    mm.add_attribute(*g.edge, meta::attr_string("label"));
+
+    g.binding = &mm.add_class("GdmBinding");
+    mm.add_attribute(*g.binding, meta::attr_enum("command", *g.command, true));
+    mm.add_attribute(*g.binding, meta::attr_enum("reaction", *g.reaction, true));
+
+    g.debug_model = &mm.add_class("DebugModel", false, g.element);
+    mm.add_reference(*g.debug_model, meta::ref_contain("elements", *g.element));
+    mm.add_reference(*g.debug_model, meta::ref_contain("bindings", *g.binding));
+}
+
+struct BuiltGdmMeta : GdmMeta {
+    BuiltGdmMeta() { build(*this); }
+};
+
+} // namespace
+
+const GdmMeta& gdm_metamodel() {
+    static const BuiltGdmMeta instance;
+    return instance;
+}
+
+} // namespace gmdf::core

@@ -1,0 +1,33 @@
+// The Graphical Debugger Model (GDM) metamodel — paper Fig. 3.
+//
+// The GDM is itself a model in the framework's metamodeling core: an
+// event-driven structure of graphical elements plus command->reaction
+// bindings, generated from the user's input model by the abstraction step
+// and animated by the runtime engine. Expressing it as a meta::Metamodel
+// means the generated debug model can be serialized ("an initial GDM file
+// is automatically generated", Fig. 6 step 4) and inspected like any
+// other model.
+#pragma once
+
+#include "meta/metamodel.hpp"
+
+namespace gmdf::core {
+
+struct GdmMeta {
+    meta::Metamodel mm{"gdm"};
+
+    const meta::MetaEnum* shape = nullptr;    ///< Rectangle|Circle|Triangle|Diamond|Line|Arrow
+    const meta::MetaEnum* reaction = nullptr; ///< highlight|pulse|label_update|none
+    const meta::MetaEnum* command = nullptr;  ///< wire command kinds
+
+    meta::MetaClass* debug_model = nullptr; ///< root: elements + bindings
+    meta::MetaClass* element = nullptr;     ///< abstract: name, source_id
+    meta::MetaClass* node = nullptr;        ///< shape + geometry + label
+    meta::MetaClass* edge = nullptr;        ///< from/to node refs
+    meta::MetaClass* binding = nullptr;     ///< command -> reaction
+};
+
+/// The process-wide GDM metamodel.
+[[nodiscard]] const GdmMeta& gdm_metamodel();
+
+} // namespace gmdf::core

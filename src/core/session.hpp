@@ -1,0 +1,97 @@
+// DebugSession: the GMDF public facade.
+//
+// Mirrors the prototype workflow of paper Fig. 6:
+//   1. provide the input model (+ the COMDES metamodel is implicit),
+//   2. set up the abstraction mapping (defaults provided),
+//   3. configure command->reaction bindings (defaults provided),
+//   4. the GDM is generated automatically,
+//   5. attach the running target — actively (RS-232 command interface)
+//      or passively (JTAG watchpoints) — and the engine animates the GDM,
+//      honours model-level breakpoints, and records the trace for replay.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/loader.hpp"
+#include "core/abstraction.hpp"
+#include "core/engine.hpp"
+#include "link/framing.hpp"
+#include "link/jtag.hpp"
+#include "link/watch.hpp"
+#include "render/ascii.hpp"
+#include "render/svg.hpp"
+#include "rt/target.hpp"
+
+namespace gmdf::core {
+
+class DebugSession {
+public:
+    /// Builds the GDM from `design` with the default COMDES mapping.
+    /// The design model must outlive the session.
+    explicit DebugSession(const meta::Model& design);
+
+    /// Same, with a user mapping (the Fig. 4 abstraction guide result).
+    DebugSession(const meta::Model& design, const MappingTable& mapping);
+
+    DebugSession(const DebugSession&) = delete;
+    DebugSession& operator=(const DebugSession&) = delete;
+
+    /// Attaches via the active command interface: the target's debug UART
+    /// traffic is framed commands; engine control uses the host back
+    /// channel. Call before Target::start().
+    void attach_active(rt::Target& target);
+
+    /// Attaches passively: a JTAG probe per node plus watch pollers on
+    /// every mirrored SM/modal state and signal; observed memory changes
+    /// are synthesized into the same command stream.
+    /// `poll_period` bounds detection latency (bench C4).
+    void attach_passive(rt::Target& target, const codegen::LoadedSystem& loaded,
+                        rt::SimTime poll_period, double tck_hz = 1e6);
+
+    [[nodiscard]] DebuggerEngine& engine() { return engine_; }
+    [[nodiscard]] const DebuggerEngine& engine() const { return engine_; }
+    [[nodiscard]] render::Scene& scene() { return abstraction_.scene; }
+    [[nodiscard]] const meta::Model& gdm() const { return abstraction_.gdm; }
+    [[nodiscard]] const AbstractionResult& abstraction() const { return abstraction_; }
+
+    /// Serialized GDM text (the "initial GDM file").
+    [[nodiscard]] std::string gdm_text() const;
+
+    /// Current animation frame.
+    [[nodiscard]] std::string render_ascii() const { return render::render_ascii(abstraction_.scene); }
+    [[nodiscard]] std::string render_svg() const { return render::render_svg(abstraction_.scene); }
+
+    /// Trace products.
+    [[nodiscard]] render::TimingDiagram timing_diagram() const;
+    [[nodiscard]] std::string vcd() const;
+
+    /// Deterministic replay: re-animates the recorded trace on a fresh
+    /// scene and returns one ASCII frame per `stride` events.
+    [[nodiscard]] std::vector<std::string> replay_frames(std::size_t stride = 1) const;
+
+    /// Restricts model-level stepping to one actor's task (empty: any
+    /// task's next release consumes the step).
+    void set_step_actor(const std::string& actor_name) { *step_filter_ = actor_name; }
+
+    /// Decoder-level link statistics (active mode).
+    [[nodiscard]] std::uint64_t corrupt_frames() const { return decoder_.corrupt_frames(); }
+
+private:
+    std::shared_ptr<std::string> step_filter_ = std::make_shared<std::string>();
+    const meta::Model* design_;
+    AbstractionResult abstraction_;
+    DebuggerEngine engine_;
+    link::FrameDecoder decoder_;
+
+    // Passive-mode plumbing (one per node).
+    struct PassiveNode {
+        std::unique_ptr<link::JtagTap> tap;
+        std::unique_ptr<link::JtagProbe> probe;
+        std::unique_ptr<link::WatchPoller> poller;
+    };
+    std::vector<std::unique_ptr<PassiveNode>> passive_;
+};
+
+} // namespace gmdf::core

@@ -1,0 +1,89 @@
+#include "core/trace.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace gmdf::core {
+
+std::vector<TraceEvent> TraceRecorder::filter(link::Cmd kind) const {
+    std::vector<TraceEvent> out;
+    for (const auto& e : events_)
+        if (e.cmd.kind == kind) out.push_back(e);
+    return out;
+}
+
+namespace {
+
+std::string element_name(const meta::Model& design, std::uint32_t raw) {
+    const meta::MObject* obj = design.get(meta::ObjectId{raw});
+    if (obj == nullptr) return "#" + std::to_string(raw);
+    std::string n = obj->name();
+    return n.empty() ? obj->meta_class().name() + "#" + std::to_string(raw) : n;
+}
+
+std::string format_value(float v) {
+    std::ostringstream os;
+    os.precision(4);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+render::TimingDiagram TraceRecorder::timing_diagram(const meta::Model& design) const {
+    render::TimingDiagram diagram;
+    std::map<std::uint32_t, std::size_t> sm_lane;
+    std::map<std::uint32_t, std::size_t> sig_lane;
+
+    for (const auto& e : events_) {
+        switch (e.cmd.kind) {
+        case link::Cmd::StateEnter:
+        case link::Cmd::ModeChange: {
+            auto [it, inserted] = sm_lane.try_emplace(e.cmd.a, 0);
+            if (inserted) it->second = diagram.add_lane(element_name(design, e.cmd.a));
+            diagram.change(it->second, e.t, element_name(design, e.cmd.b));
+            break;
+        }
+        case link::Cmd::SignalUpdate: {
+            auto [it, inserted] = sig_lane.try_emplace(e.cmd.a, 0);
+            if (inserted) it->second = diagram.add_lane(element_name(design, e.cmd.a));
+            diagram.change(it->second, e.t, format_value(e.cmd.value));
+            break;
+        }
+        default: break;
+        }
+    }
+    return diagram;
+}
+
+std::string TraceRecorder::to_vcd(const meta::Model& design) const {
+    render::VcdWriter vcd("1ns");
+    std::map<std::uint32_t, std::size_t> sm_var;
+    std::map<std::uint32_t, std::size_t> sig_var;
+    std::map<std::uint32_t, std::map<std::uint32_t, int>> state_index; // sm -> state -> idx
+
+    // Declare variables first (VCD requires definitions before changes).
+    for (const auto& e : events_) {
+        if (e.cmd.kind == link::Cmd::StateEnter || e.cmd.kind == link::Cmd::ModeChange) {
+            if (!sm_var.contains(e.cmd.a))
+                sm_var[e.cmd.a] = vcd.add_int(element_name(design, e.cmd.a) + "_state");
+            auto& idx = state_index[e.cmd.a];
+            if (!idx.contains(e.cmd.b)) {
+                int next = static_cast<int>(idx.size());
+                idx[e.cmd.b] = next;
+            }
+        } else if (e.cmd.kind == link::Cmd::SignalUpdate) {
+            if (!sig_var.contains(e.cmd.a))
+                sig_var[e.cmd.a] = vcd.add_real(element_name(design, e.cmd.a));
+        }
+    }
+    for (const auto& e : events_) {
+        if (e.cmd.kind == link::Cmd::StateEnter || e.cmd.kind == link::Cmd::ModeChange)
+            vcd.change_int(sm_var.at(e.cmd.a), e.t, state_index.at(e.cmd.a).at(e.cmd.b));
+        else if (e.cmd.kind == link::Cmd::SignalUpdate)
+            vcd.change_real(sig_var.at(e.cmd.a), e.t, static_cast<double>(e.cmd.value));
+    }
+    return vcd.str();
+}
+
+} // namespace gmdf::core

@@ -1,0 +1,51 @@
+// Abstract syntax tree for the GMDF expression language.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gmdf::expr {
+
+enum class BinOp {
+    Add, Sub, Mul, Div, Mod,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or,
+};
+
+enum class UnOp { Neg, Not };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLit { std::int64_t value; };
+struct RealLit { double value; };
+struct BoolLit { bool value; };
+struct VarRef { std::string name; };
+struct Unary { UnOp op; ExprPtr operand; };
+struct Binary { BinOp op; ExprPtr lhs; ExprPtr rhs; };
+struct Conditional { ExprPtr cond; ExprPtr then_e; ExprPtr else_e; };
+struct Call { std::string fn; std::vector<ExprPtr> args; };
+
+/// One AST node. Nodes own their children; an Expr tree is immutable after
+/// parsing and safe to share across threads for read-only evaluation.
+struct Expr {
+    std::variant<IntLit, RealLit, BoolLit, VarRef, Unary, Binary, Conditional, Call> node;
+    std::size_t pos = 0; // source offset for diagnostics
+
+    template <typename T>
+    [[nodiscard]] bool is() const { return std::holds_alternative<T>(node); }
+    template <typename T>
+    [[nodiscard]] const T& as() const { return std::get<T>(node); }
+};
+
+/// Collects the variable names referenced by `e` (each name once, sorted).
+[[nodiscard]] std::vector<std::string> free_variables(const Expr& e);
+
+/// Renders the tree back to source-like text (parenthesized; used by the
+/// C code emitter and by diagnostics).
+[[nodiscard]] std::string to_string(const Expr& e);
+
+} // namespace gmdf::expr

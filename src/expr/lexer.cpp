@@ -1,0 +1,125 @@
+#include "expr/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace gmdf::expr {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+} // namespace
+
+std::vector<Token> lex(std::string_view src) {
+    std::vector<Token> out;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto push = [&](TokKind k, std::size_t pos) { out.push_back({k, {}, 0, 0.0, pos}); };
+
+    while (i < n) {
+        char c = src[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        std::size_t start = i;
+        if (ident_start(c)) {
+            while (i < n && ident_char(src[i])) ++i;
+            std::string word(src.substr(start, i - start));
+            if (word == "true")
+                push(TokKind::True, start);
+            else if (word == "false")
+                push(TokKind::False, start);
+            else if (word == "and")
+                push(TokKind::AndAnd, start);
+            else if (word == "or")
+                push(TokKind::OrOr, start);
+            else if (word == "not")
+                push(TokKind::Not, start);
+            else
+                out.push_back({TokKind::Ident, std::move(word), 0, 0.0, start});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            // Scan the longest numeric literal; decide int vs real by the
+            // presence of '.' or an exponent.
+            bool is_real = false;
+            while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+            if (i < n && src[i] == '.') {
+                is_real = true;
+                ++i;
+                while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+            }
+            if (i < n && (src[i] == 'e' || src[i] == 'E')) {
+                is_real = true;
+                ++i;
+                if (i < n && (src[i] == '+' || src[i] == '-')) ++i;
+                if (i >= n || !std::isdigit(static_cast<unsigned char>(src[i])))
+                    throw ExprError(i, "malformed exponent");
+                while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+            }
+            std::string_view lit = src.substr(start, i - start);
+            Token t;
+            t.pos = start;
+            if (is_real) {
+                t.kind = TokKind::Real;
+                auto [p, ec] = std::from_chars(lit.data(), lit.data() + lit.size(), t.real_val);
+                if (ec != std::errc{} || p != lit.data() + lit.size())
+                    throw ExprError(start, "bad real literal");
+            } else {
+                t.kind = TokKind::Int;
+                auto [p, ec] = std::from_chars(lit.data(), lit.data() + lit.size(), t.int_val);
+                if (ec != std::errc{} || p != lit.data() + lit.size())
+                    throw ExprError(start, "bad int literal");
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+        auto two = [&](char second) { return i + 1 < n && src[i + 1] == second; };
+        switch (c) {
+        case '+': push(TokKind::Plus, start); ++i; break;
+        case '-': push(TokKind::Minus, start); ++i; break;
+        case '*': push(TokKind::Star, start); ++i; break;
+        case '/': push(TokKind::Slash, start); ++i; break;
+        case '%': push(TokKind::Percent, start); ++i; break;
+        case '(': push(TokKind::LParen, start); ++i; break;
+        case ')': push(TokKind::RParen, start); ++i; break;
+        case ',': push(TokKind::Comma, start); ++i; break;
+        case '?': push(TokKind::Question, start); ++i; break;
+        case ':': push(TokKind::Colon, start); ++i; break;
+        case '<':
+            if (two('=')) { push(TokKind::Le, start); i += 2; }
+            else { push(TokKind::Lt, start); ++i; }
+            break;
+        case '>':
+            if (two('=')) { push(TokKind::Ge, start); i += 2; }
+            else { push(TokKind::Gt, start); ++i; }
+            break;
+        case '=':
+            if (two('=')) { push(TokKind::EqEq, start); i += 2; }
+            else throw ExprError(start, "single '=' is not an operator (use '==')");
+            break;
+        case '!':
+            if (two('=')) { push(TokKind::NotEq, start); i += 2; }
+            else { push(TokKind::Not, start); ++i; }
+            break;
+        case '&':
+            if (two('&')) { push(TokKind::AndAnd, start); i += 2; }
+            else throw ExprError(start, "single '&' is not an operator (use '&&')");
+            break;
+        case '|':
+            if (two('|')) { push(TokKind::OrOr, start); i += 2; }
+            else throw ExprError(start, "single '|' is not an operator (use '||')");
+            break;
+        default:
+            throw ExprError(start, std::string("unexpected character '") + c + "'");
+        }
+    }
+    out.push_back({TokKind::End, {}, 0, 0.0, n});
+    return out;
+}
+
+} // namespace gmdf::expr

@@ -1,0 +1,55 @@
+// Tokenizer for the GMDF expression language.
+//
+// The language is used for basic function-block computations, state-machine
+// guards/actions, and signal-predicate breakpoints in the debugger. It has
+// bool/int/real values, arithmetic, comparisons, logical operators, a
+// conditional operator, and a small builtin function library.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gmdf::expr {
+
+enum class TokKind {
+    End,
+    Ident,      // variable or function name
+    Int,        // 123
+    Real,       // 1.5, 2e-3
+    True,
+    False,
+    Plus, Minus, Star, Slash, Percent,
+    Lt, Le, Gt, Ge, EqEq, NotEq,
+    AndAnd, OrOr, Not,
+    LParen, RParen, Comma,
+    Question, Colon,
+};
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;      // identifier spelling
+    std::int64_t int_val = 0;
+    double real_val = 0.0;
+    std::size_t pos = 0;   // byte offset in the source, for diagnostics
+};
+
+/// Error thrown by the lexer/parser with a byte offset into the source.
+class ExprError : public std::runtime_error {
+public:
+    ExprError(std::size_t pos, const std::string& message)
+        : std::runtime_error("at offset " + std::to_string(pos) + ": " + message),
+          pos_(pos) {}
+
+    [[nodiscard]] std::size_t pos() const { return pos_; }
+
+private:
+    std::size_t pos_;
+};
+
+/// Tokenizes the full source; throws ExprError on an unexpected character.
+[[nodiscard]] std::vector<Token> lex(std::string_view src);
+
+} // namespace gmdf::expr

@@ -1,0 +1,247 @@
+#include "expr/parser.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace gmdf::expr {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    ExprPtr run() {
+        ExprPtr e = conditional();
+        if (peek().kind != TokKind::End)
+            throw ExprError(peek().pos, "trailing input after expression");
+        return e;
+    }
+
+private:
+    const Token& peek() const { return toks_[idx_]; }
+    Token take() { return toks_[idx_++]; }
+
+    bool accept(TokKind k) {
+        if (peek().kind == k) {
+            ++idx_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(TokKind k, const char* what) {
+        if (!accept(k)) throw ExprError(peek().pos, std::string("expected ") + what);
+    }
+
+    static ExprPtr make(std::size_t pos, auto&& node) {
+        auto e = std::make_unique<Expr>();
+        e->node = std::forward<decltype(node)>(node);
+        e->pos = pos;
+        return e;
+    }
+
+    ExprPtr conditional() {
+        std::size_t pos = peek().pos;
+        ExprPtr c = logical_or();
+        if (accept(TokKind::Question)) {
+            ExprPtr t = conditional();
+            expect(TokKind::Colon, "':'");
+            ExprPtr f = conditional();
+            return make(pos, Conditional{std::move(c), std::move(t), std::move(f)});
+        }
+        return c;
+    }
+
+    ExprPtr logical_or() {
+        ExprPtr lhs = logical_and();
+        while (peek().kind == TokKind::OrOr) {
+            std::size_t pos = take().pos;
+            lhs = make(pos, Binary{BinOp::Or, std::move(lhs), logical_and()});
+        }
+        return lhs;
+    }
+
+    ExprPtr logical_and() {
+        ExprPtr lhs = comparison();
+        while (peek().kind == TokKind::AndAnd) {
+            std::size_t pos = take().pos;
+            lhs = make(pos, Binary{BinOp::And, std::move(lhs), comparison()});
+        }
+        return lhs;
+    }
+
+    ExprPtr comparison() {
+        ExprPtr lhs = additive();
+        BinOp op;
+        switch (peek().kind) {
+        case TokKind::Lt: op = BinOp::Lt; break;
+        case TokKind::Le: op = BinOp::Le; break;
+        case TokKind::Gt: op = BinOp::Gt; break;
+        case TokKind::Ge: op = BinOp::Ge; break;
+        case TokKind::EqEq: op = BinOp::Eq; break;
+        case TokKind::NotEq: op = BinOp::Ne; break;
+        default: return lhs;
+        }
+        std::size_t pos = take().pos;
+        return make(pos, Binary{op, std::move(lhs), additive()});
+    }
+
+    ExprPtr additive() {
+        ExprPtr lhs = multiplicative();
+        while (peek().kind == TokKind::Plus || peek().kind == TokKind::Minus) {
+            BinOp op = peek().kind == TokKind::Plus ? BinOp::Add : BinOp::Sub;
+            std::size_t pos = take().pos;
+            lhs = make(pos, Binary{op, std::move(lhs), multiplicative()});
+        }
+        return lhs;
+    }
+
+    ExprPtr multiplicative() {
+        ExprPtr lhs = unary();
+        while (true) {
+            BinOp op;
+            switch (peek().kind) {
+            case TokKind::Star: op = BinOp::Mul; break;
+            case TokKind::Slash: op = BinOp::Div; break;
+            case TokKind::Percent: op = BinOp::Mod; break;
+            default: return lhs;
+            }
+            std::size_t pos = take().pos;
+            lhs = make(pos, Binary{op, std::move(lhs), unary()});
+        }
+    }
+
+    ExprPtr unary() {
+        if (peek().kind == TokKind::Minus) {
+            std::size_t pos = take().pos;
+            return make(pos, Unary{UnOp::Neg, unary()});
+        }
+        if (peek().kind == TokKind::Not) {
+            std::size_t pos = take().pos;
+            return make(pos, Unary{UnOp::Not, unary()});
+        }
+        return primary();
+    }
+
+    ExprPtr primary() {
+        Token t = take();
+        switch (t.kind) {
+        case TokKind::Int: return make(t.pos, IntLit{t.int_val});
+        case TokKind::Real: return make(t.pos, RealLit{t.real_val});
+        case TokKind::True: return make(t.pos, BoolLit{true});
+        case TokKind::False: return make(t.pos, BoolLit{false});
+        case TokKind::LParen: {
+            ExprPtr e = conditional();
+            expect(TokKind::RParen, "')'");
+            return e;
+        }
+        case TokKind::Ident: {
+            if (accept(TokKind::LParen)) {
+                Call call{std::move(t.text), {}};
+                if (!accept(TokKind::RParen)) {
+                    do {
+                        call.args.push_back(conditional());
+                    } while (accept(TokKind::Comma));
+                    expect(TokKind::RParen, "')'");
+                }
+                return make(t.pos, std::move(call));
+            }
+            return make(t.pos, VarRef{std::move(t.text)});
+        }
+        default: throw ExprError(t.pos, "expected an expression");
+        }
+    }
+
+    std::vector<Token> toks_;
+    std::size_t idx_ = 0;
+};
+
+void collect_vars(const Expr& e, std::set<std::string>& out) {
+    std::visit(
+        [&](const auto& n) {
+            using T = std::decay_t<decltype(n)>;
+            if constexpr (std::is_same_v<T, VarRef>) {
+                out.insert(n.name);
+            } else if constexpr (std::is_same_v<T, Unary>) {
+                collect_vars(*n.operand, out);
+            } else if constexpr (std::is_same_v<T, Binary>) {
+                collect_vars(*n.lhs, out);
+                collect_vars(*n.rhs, out);
+            } else if constexpr (std::is_same_v<T, Conditional>) {
+                collect_vars(*n.cond, out);
+                collect_vars(*n.then_e, out);
+                collect_vars(*n.else_e, out);
+            } else if constexpr (std::is_same_v<T, Call>) {
+                for (const auto& a : n.args) collect_vars(*a, out);
+            }
+        },
+        e.node);
+}
+
+const char* op_text(BinOp op) {
+    switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+    }
+    return "?";
+}
+
+} // namespace
+
+ExprPtr parse(std::string_view src) { return Parser(lex(src)).run(); }
+
+std::vector<std::string> free_variables(const Expr& e) {
+    std::set<std::string> s;
+    collect_vars(e, s);
+    return {s.begin(), s.end()};
+}
+
+std::string to_string(const Expr& e) {
+    std::ostringstream os;
+    std::visit(
+        [&](const auto& n) {
+            using T = std::decay_t<decltype(n)>;
+            if constexpr (std::is_same_v<T, IntLit>) {
+                os << n.value;
+            } else if constexpr (std::is_same_v<T, RealLit>) {
+                os.precision(17);
+                os << n.value;
+            } else if constexpr (std::is_same_v<T, BoolLit>) {
+                os << (n.value ? "true" : "false");
+            } else if constexpr (std::is_same_v<T, VarRef>) {
+                os << n.name;
+            } else if constexpr (std::is_same_v<T, Unary>) {
+                os << (n.op == UnOp::Neg ? "-" : "!") << "(" << to_string(*n.operand) << ")";
+            } else if constexpr (std::is_same_v<T, Binary>) {
+                os << "(" << to_string(*n.lhs) << " " << op_text(n.op) << " "
+                   << to_string(*n.rhs) << ")";
+            } else if constexpr (std::is_same_v<T, Conditional>) {
+                os << "(" << to_string(*n.cond) << " ? " << to_string(*n.then_e) << " : "
+                   << to_string(*n.else_e) << ")";
+            } else if constexpr (std::is_same_v<T, Call>) {
+                os << n.fn << "(";
+                for (std::size_t i = 0; i < n.args.size(); ++i) {
+                    if (i != 0) os << ", ";
+                    os << to_string(*n.args[i]);
+                }
+                os << ")";
+            }
+        },
+        e.node);
+    return os.str();
+}
+
+} // namespace gmdf::expr

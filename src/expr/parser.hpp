@@ -1,0 +1,25 @@
+// Recursive-descent / precedence-climbing parser for the expression language.
+#pragma once
+
+#include <string_view>
+
+#include "expr/ast.hpp"
+#include "expr/lexer.hpp"
+
+namespace gmdf::expr {
+
+/// Parses a complete expression; throws ExprError on syntax errors or
+/// trailing junk.
+///
+/// Grammar (lowest to highest precedence):
+///   conditional := or ('?' conditional ':' conditional)?
+///   or          := and ('||' and)*
+///   and         := cmp ('&&' cmp)*
+///   cmp         := add (('<'|'<='|'>'|'>='|'=='|'!=') add)?
+///   add         := mul (('+'|'-') mul)*
+///   mul         := unary (('*'|'/'|'%') unary)*
+///   unary       := ('-'|'!') unary | primary
+///   primary     := literal | ident | ident '(' args ')' | '(' conditional ')'
+[[nodiscard]] ExprPtr parse(std::string_view src);
+
+} // namespace gmdf::expr

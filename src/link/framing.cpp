@@ -1,0 +1,104 @@
+#include "link/framing.hpp"
+
+#include <utility>
+
+namespace gmdf::link {
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data) {
+    std::uint16_t crc = 0xFFFF;
+    for (std::uint8_t byte : data) {
+        crc ^= static_cast<std::uint16_t>(byte) << 8;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc & 0x8000) != 0 ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                                      : static_cast<std::uint16_t>(crc << 1);
+    }
+    return crc;
+}
+
+namespace {
+
+void push_escaped(std::vector<std::uint8_t>& out, std::uint8_t byte) {
+    if (byte == kFlag || byte == kEscape) {
+        out.push_back(kEscape);
+        out.push_back(byte ^ kEscapeXor);
+    } else {
+        out.push_back(byte);
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t> frame_payload(std::span<const std::uint8_t> payload) {
+    std::vector<std::uint8_t> out;
+    out.reserve(payload.size() + 5);
+    out.push_back(kFlag);
+    for (std::uint8_t b : payload) push_escaped(out, b);
+    std::uint16_t crc = crc16_ccitt(payload);
+    push_escaped(out, static_cast<std::uint8_t>(crc >> 8));
+    push_escaped(out, static_cast<std::uint8_t>(crc & 0xFF));
+    out.push_back(kFlag);
+    return out;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+    for (std::uint8_t b : bytes) {
+        switch (state_) {
+        case State::Hunting:
+            if (b == kFlag) {
+                state_ = State::InFrame;
+                current_.clear();
+            } else {
+                ++junk_;
+            }
+            break;
+        case State::InFrame:
+            if (b == kFlag) {
+                // Either a frame terminator or (after back-to-back frames)
+                // an opening flag; empty frames are silently skipped.
+                end_frame();
+                state_ = State::InFrame;
+                current_.clear();
+            } else if (b == kEscape) {
+                state_ = State::InEscape;
+            } else {
+                current_.push_back(b);
+            }
+            break;
+        case State::InEscape: {
+            std::uint8_t unescaped = b ^ kEscapeXor;
+            if (unescaped != kFlag && unescaped != kEscape) {
+                // Invalid escape sequence: drop the frame, resync.
+                ++corrupt_;
+                state_ = State::Hunting;
+            } else {
+                current_.push_back(unescaped);
+                state_ = State::InFrame;
+            }
+            break;
+        }
+        }
+    }
+}
+
+void FrameDecoder::end_frame() {
+    if (current_.empty()) return; // idle flags between frames
+    if (current_.size() < 3) {
+        ++corrupt_; // cannot even hold a CRC
+        return;
+    }
+    std::size_t n = current_.size() - 2;
+    std::uint16_t expected = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(current_[n]) << 8) | current_[n + 1]);
+    std::span<const std::uint8_t> payload(current_.data(), n);
+    if (crc16_ccitt(payload) != expected) {
+        ++corrupt_;
+        return;
+    }
+    ready_.emplace_back(payload.begin(), payload.end());
+}
+
+std::vector<std::vector<std::uint8_t>> FrameDecoder::take_payloads() {
+    return std::exchange(ready_, {});
+}
+
+} // namespace gmdf::link

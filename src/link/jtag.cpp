@@ -1,0 +1,194 @@
+#include "link/jtag.hpp"
+
+#include <stdexcept>
+
+namespace gmdf::link {
+
+const char* to_string(TapState s) {
+    switch (s) {
+    case TapState::TestLogicReset: return "Test-Logic-Reset";
+    case TapState::RunTestIdle: return "Run-Test/Idle";
+    case TapState::SelectDrScan: return "Select-DR-Scan";
+    case TapState::CaptureDr: return "Capture-DR";
+    case TapState::ShiftDr: return "Shift-DR";
+    case TapState::Exit1Dr: return "Exit1-DR";
+    case TapState::PauseDr: return "Pause-DR";
+    case TapState::Exit2Dr: return "Exit2-DR";
+    case TapState::UpdateDr: return "Update-DR";
+    case TapState::SelectIrScan: return "Select-IR-Scan";
+    case TapState::CaptureIr: return "Capture-IR";
+    case TapState::ShiftIr: return "Shift-IR";
+    case TapState::Exit1Ir: return "Exit1-IR";
+    case TapState::PauseIr: return "Pause-IR";
+    case TapState::Exit2Ir: return "Exit2-IR";
+    case TapState::UpdateIr: return "Update-IR";
+    }
+    return "?";
+}
+
+TapState tap_next(TapState s, bool tms) {
+    using T = TapState;
+    switch (s) {
+    case T::TestLogicReset: return tms ? T::TestLogicReset : T::RunTestIdle;
+    case T::RunTestIdle: return tms ? T::SelectDrScan : T::RunTestIdle;
+    case T::SelectDrScan: return tms ? T::SelectIrScan : T::CaptureDr;
+    case T::CaptureDr: return tms ? T::Exit1Dr : T::ShiftDr;
+    case T::ShiftDr: return tms ? T::Exit1Dr : T::ShiftDr;
+    case T::Exit1Dr: return tms ? T::UpdateDr : T::PauseDr;
+    case T::PauseDr: return tms ? T::Exit2Dr : T::PauseDr;
+    case T::Exit2Dr: return tms ? T::UpdateDr : T::ShiftDr;
+    case T::UpdateDr: return tms ? T::SelectDrScan : T::RunTestIdle;
+    case T::SelectIrScan: return tms ? T::TestLogicReset : T::CaptureIr;
+    case T::CaptureIr: return tms ? T::Exit1Ir : T::ShiftIr;
+    case T::ShiftIr: return tms ? T::Exit1Ir : T::ShiftIr;
+    case T::Exit1Ir: return tms ? T::UpdateIr : T::PauseIr;
+    case T::PauseIr: return tms ? T::Exit2Ir : T::PauseIr;
+    case T::Exit2Ir: return tms ? T::UpdateIr : T::ShiftIr;
+    case T::UpdateIr: return tms ? T::SelectDrScan : T::RunTestIdle;
+    }
+    return T::TestLogicReset;
+}
+
+std::size_t JtagTap::dr_length() const {
+    switch (static_cast<JtagInstr>(ir_)) {
+    case JtagInstr::Idcode: return 32;
+    case JtagInstr::Addr: return 32;
+    case JtagInstr::Data: return 33; // 32 data bits + write-enable
+    case JtagInstr::Bypass: return 1;
+    }
+    return 1; // unknown instruction behaves as BYPASS per the standard
+}
+
+void JtagTap::capture_dr() {
+    switch (static_cast<JtagInstr>(ir_)) {
+    case JtagInstr::Idcode: dr_shift_ = idcode_; break;
+    case JtagInstr::Addr: dr_shift_ = addr_; break;
+    case JtagInstr::Data: {
+        // Passive RAM read; unmapped addresses capture as zero (a real
+        // memory AP would return a bus fault flag).
+        std::uint32_t word = 0;
+        try {
+            word = mem_->read_u32(addr_);
+        } catch (const std::out_of_range&) {
+            word = 0;
+        }
+        dr_shift_ = word;
+        break;
+    }
+    case JtagInstr::Bypass: dr_shift_ = 0; break;
+    default: dr_shift_ = 0;
+    }
+}
+
+void JtagTap::update_dr() {
+    switch (static_cast<JtagInstr>(ir_)) {
+    case JtagInstr::Addr: addr_ = static_cast<std::uint32_t>(dr_shift_); break;
+    case JtagInstr::Data: {
+        if (((dr_shift_ >> 32) & 1) == 0) break; // read access: no write-back
+        try {
+            mem_->write_u32(addr_, static_cast<std::uint32_t>(dr_shift_));
+        } catch (const std::out_of_range&) {
+            // Writes to unmapped memory are ignored (bus fault on HW).
+        }
+        break;
+    }
+    default: break;
+    }
+}
+
+bool JtagTap::clock(bool tms, bool tdi) {
+    ++tck_;
+    bool tdo = false;
+    // TDO reflects the LSB of the selected shift register while shifting.
+    if (state_ == TapState::ShiftDr) tdo = (dr_shift_ & 1) != 0;
+    if (state_ == TapState::ShiftIr) tdo = (ir_shift_ & 1) != 0;
+
+    // Shift on the same edge the state machine evaluates (TDI sampled on
+    // rising TCK per the standard).
+    if (state_ == TapState::ShiftDr) {
+        std::size_t len = dr_length();
+        dr_shift_ >>= 1;
+        if (tdi) dr_shift_ |= (1ull << (len - 1));
+    } else if (state_ == TapState::ShiftIr) {
+        ir_shift_ = static_cast<std::uint8_t>(ir_shift_ >> 1);
+        if (tdi) ir_shift_ |= 0x8;
+    }
+
+    TapState next = tap_next(state_, tms);
+
+    if (next == TapState::TestLogicReset) ir_ = static_cast<std::uint8_t>(JtagInstr::Idcode);
+    if (next == TapState::CaptureDr) capture_dr();
+    if (next == TapState::CaptureIr) ir_shift_ = 0x5; // standard 01 pattern in LSBs
+    if (next == TapState::UpdateDr) update_dr();
+    if (next == TapState::UpdateIr) ir_ = static_cast<std::uint8_t>(ir_shift_ & 0xF);
+
+    state_ = next;
+    return tdo;
+}
+
+void JtagProbe::reset() {
+    for (int i = 0; i < 5; ++i) tap_->clock(true, false);
+    tap_->clock(false, false); // settle in Run-Test/Idle
+}
+
+void JtagProbe::load_ir(JtagInstr instr) {
+    // From Run-Test/Idle: TMS 1,1,0,0 reaches Shift-IR.
+    tap_->clock(true, false);
+    tap_->clock(true, false);
+    tap_->clock(false, false);
+    tap_->clock(false, false);
+    auto bits = static_cast<std::uint8_t>(instr);
+    for (int i = 0; i < 4; ++i) {
+        bool last = i == 3;
+        tap_->clock(last, (bits >> i) & 1); // TMS=1 on the last bit exits Shift-IR
+    }
+    tap_->clock(true, false);  // Exit1-IR -> Update-IR
+    tap_->clock(false, false); // -> Run-Test/Idle
+}
+
+std::uint64_t JtagProbe::shift_dr(std::uint64_t tdi_bits, std::size_t nbits) {
+    if (nbits == 0 || nbits > 64) throw std::invalid_argument("shift_dr: 1..64 bits");
+    // From Run-Test/Idle: TMS 1,0,0 reaches Shift-DR.
+    tap_->clock(true, false);
+    tap_->clock(false, false);
+    tap_->clock(false, false);
+    std::uint64_t captured = 0;
+    for (std::size_t i = 0; i < nbits; ++i) {
+        bool last = i + 1 == nbits;
+        bool tdo = tap_->clock(last, (tdi_bits >> i) & 1);
+        if (tdo) captured |= (1ull << i);
+    }
+    tap_->clock(true, false);  // Exit1-DR -> Update-DR
+    tap_->clock(false, false); // -> Run-Test/Idle
+    return captured;
+}
+
+std::uint32_t JtagProbe::read_idcode() {
+    load_ir(JtagInstr::Idcode);
+    return static_cast<std::uint32_t>(shift_dr(0, 32));
+}
+
+void JtagProbe::set_address(std::uint32_t addr) {
+    load_ir(JtagInstr::Addr);
+    shift_dr(addr, 32);
+}
+
+std::uint32_t JtagProbe::read_word(std::uint32_t addr) {
+    set_address(addr);
+    load_ir(JtagInstr::Data);
+    return static_cast<std::uint32_t>(shift_dr(0, 33)); // write-enable stays 0
+}
+
+void JtagProbe::write_word(std::uint32_t addr, std::uint32_t value) {
+    set_address(addr);
+    load_ir(JtagInstr::Data);
+    shift_dr((1ull << 32) | value, 33);
+}
+
+std::uint64_t JtagProbe::cycles_per_read() {
+    std::uint64_t before = tap_->tck_count();
+    (void)read_word(rt::MemoryMap::kBase);
+    return tap_->tck_count() - before;
+}
+
+} // namespace gmdf::link

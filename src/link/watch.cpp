@@ -1,0 +1,39 @@
+#include "link/watch.hpp"
+
+#include <cmath>
+
+namespace gmdf::link {
+
+WatchPoller::WatchPoller(rt::Simulator& sim, JtagProbe& probe, rt::SimTime poll_period)
+    : sim_(&sim), probe_(&probe), period_(poll_period) {}
+
+void WatchPoller::watch(std::uint32_t addr) { entries_.push_back({addr, 0, false}); }
+
+void WatchPoller::start() {
+    running_ = true;
+    probe_->reset(); // known TAP state regardless of power-on history
+    sim_->after(period_, [this] { poll_round(); });
+}
+
+void WatchPoller::poll_round() {
+    if (!running_) return;
+    ++polls_;
+    double t0 = probe_->elapsed_seconds();
+    for (auto& e : entries_) {
+        std::uint32_t value = probe_->read_word(e.addr);
+        // The read finishes after its wire time; stamp events accordingly.
+        double t1 = probe_->elapsed_seconds();
+        auto offset = static_cast<rt::SimTime>((t1 - t0) * static_cast<double>(rt::kSec));
+        if (e.primed && value != e.last) {
+            ++events_;
+            if (callback_) callback_({e.addr, e.last, value, sim_->now() + offset});
+        }
+        e.last = value;
+        e.primed = true;
+    }
+    last_round_cost_ = static_cast<rt::SimTime>((probe_->elapsed_seconds() - t0) *
+                                                static_cast<double>(rt::kSec));
+    sim_->after(period_, [this] { poll_round(); });
+}
+
+} // namespace gmdf::link

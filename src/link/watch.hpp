@@ -1,0 +1,79 @@
+// Host-side watchpoint poller for the passive (JTAG) debug path.
+//
+// The paper: "the user selects one or more monitored variables ... GDM
+// will be notified and execute appropriate reactions when the selected
+// monitored variable changes its value at runtime." The poller samples
+// watched RAM words through the JTAG probe at a fixed period; every
+// detected change is reported with the time it was observed. Polling
+// consumes zero target CPU cycles but has finite detection latency and
+// can alias (miss) changes faster than the poll period — bench C4
+// quantifies both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "link/jtag.hpp"
+#include "rt/des.hpp"
+
+namespace gmdf::link {
+
+/// One observed change of a watched word.
+struct WatchEvent {
+    std::uint32_t addr = 0;
+    std::uint32_t old_value = 0;
+    std::uint32_t new_value = 0;
+    rt::SimTime at = 0; ///< completion time of the read that saw the change
+};
+
+/// Periodically reads watched addresses via a JtagProbe and reports
+/// changes. Reads are sequenced on the wire: each costs
+/// cycles_per_read / tck_hz, so a long watch list stretches the sample
+/// point of later entries within one poll round.
+class WatchPoller {
+public:
+    using Callback = std::function<void(const WatchEvent&)>;
+
+    /// All references must outlive the poller.
+    WatchPoller(rt::Simulator& sim, JtagProbe& probe, rt::SimTime poll_period);
+
+    /// Adds an address to the watch list (before or after start()). The
+    /// first poll establishes the baseline; no event fires for it.
+    void watch(std::uint32_t addr);
+
+    void set_callback(Callback cb) { callback_ = std::move(cb); }
+
+    /// Begins polling at now() + poll period.
+    void start();
+
+    /// Stops after the current round.
+    void stop() { running_ = false; }
+
+    [[nodiscard]] std::uint64_t polls() const { return polls_; }
+    [[nodiscard]] std::uint64_t events() const { return events_; }
+
+    /// Wire time the last completed poll round took (0 before any poll).
+    [[nodiscard]] rt::SimTime round_cost() const { return last_round_cost_; }
+
+private:
+    void poll_round();
+
+    struct Entry {
+        std::uint32_t addr;
+        std::uint32_t last = 0;
+        bool primed = false;
+    };
+
+    rt::Simulator* sim_;
+    JtagProbe* probe_;
+    rt::SimTime period_;
+    std::vector<Entry> entries_;
+    Callback callback_;
+    bool running_ = false;
+    std::uint64_t polls_ = 0;
+    std::uint64_t events_ = 0;
+    rt::SimTime last_round_cost_ = 0;
+};
+
+} // namespace gmdf::link

@@ -1,0 +1,45 @@
+// Diagnostics produced by model/metamodel validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "meta/value.hpp"
+
+namespace gmdf::meta {
+
+enum class Severity { Info, Warning, Error };
+
+/// One validation finding: what went wrong, where, and how severe it is.
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    /// Offending object, or null for model-level findings.
+    ObjectId object;
+    /// Attribute/reference name involved, empty if not feature-specific.
+    std::string feature;
+    std::string message;
+
+    [[nodiscard]] std::string to_string() const {
+        std::string out;
+        switch (severity) {
+        case Severity::Info: out = "info: "; break;
+        case Severity::Warning: out = "warning: "; break;
+        case Severity::Error: out = "error: "; break;
+        }
+        if (!object.is_null()) out += meta::to_string(object) + " ";
+        if (!feature.empty()) out += "'" + feature + "' ";
+        out += message;
+        return out;
+    }
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+/// True if no diagnostic at Error severity is present.
+[[nodiscard]] inline bool is_clean(const Diagnostics& ds) {
+    for (const auto& d : ds)
+        if (d.severity == Severity::Error) return false;
+    return true;
+}
+
+} // namespace gmdf::meta

@@ -1,0 +1,121 @@
+#include "meta/metamodel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gmdf::meta {
+
+std::optional<std::size_t> MetaEnum::index_of(std::string_view literal) const {
+    for (std::size_t i = 0; i < literals_.size(); ++i)
+        if (literals_[i] == literal) return i;
+    return std::nullopt;
+}
+
+std::vector<const MetaAttribute*> MetaClass::all_attributes() const {
+    std::vector<const MetaAttribute*> out;
+    if (super_) out = super_->all_attributes();
+    for (const auto& a : attrs_) out.push_back(&a);
+    return out;
+}
+
+std::vector<const MetaReference*> MetaClass::all_references() const {
+    std::vector<const MetaReference*> out;
+    if (super_) out = super_->all_references();
+    for (const auto& r : refs_) out.push_back(&r);
+    return out;
+}
+
+const MetaAttribute* MetaClass::find_attribute(std::string_view name) const {
+    for (const auto& a : attrs_)
+        if (a.name == name) return &a;
+    return super_ ? super_->find_attribute(name) : nullptr;
+}
+
+const MetaReference* MetaClass::find_reference(std::string_view name) const {
+    for (const auto& r : refs_)
+        if (r.name == name) return &r;
+    return super_ ? super_->find_reference(name) : nullptr;
+}
+
+bool MetaClass::is_subtype_of(const MetaClass& other) const {
+    for (const MetaClass* c = this; c != nullptr; c = c->super_)
+        if (c == &other) return true;
+    return false;
+}
+
+const MetaEnum& Metamodel::add_enum(std::string name, std::vector<std::string> literals) {
+    if (find_enum(name) != nullptr)
+        throw std::invalid_argument("duplicate enum: " + name);
+    enums_.push_back(std::make_unique<MetaEnum>(std::move(name), std::move(literals)));
+    return *enums_.back();
+}
+
+MetaClass& Metamodel::add_class(std::string name, bool is_abstract, const MetaClass* super) {
+    if (find_class(name) != nullptr)
+        throw std::invalid_argument("duplicate class: " + name);
+    if (super != nullptr && !owns(*super))
+        throw std::invalid_argument("superclass '" + super->name() +
+                                    "' belongs to a different metamodel");
+    classes_.push_back(std::make_unique<MetaClass>(std::move(name), is_abstract, super));
+    return *classes_.back();
+}
+
+void Metamodel::add_attribute(MetaClass& cls, MetaAttribute attr) {
+    if (cls.find_attribute(attr.name) != nullptr || cls.find_reference(attr.name) != nullptr)
+        throw std::invalid_argument("duplicate feature '" + attr.name + "' on class " +
+                                    cls.name());
+    if (attr.type == AttrType::Enum && attr.enum_type == nullptr)
+        throw std::invalid_argument("enum attribute '" + attr.name + "' lacks enum type");
+    cls.attrs_.push_back(std::move(attr));
+}
+
+void Metamodel::add_reference(MetaClass& cls, MetaReference ref) {
+    if (cls.find_attribute(ref.name) != nullptr || cls.find_reference(ref.name) != nullptr)
+        throw std::invalid_argument("duplicate feature '" + ref.name + "' on class " +
+                                    cls.name());
+    if (ref.target == nullptr)
+        throw std::invalid_argument("reference '" + ref.name + "' lacks target class");
+    cls.refs_.push_back(std::move(ref));
+}
+
+const MetaClass* Metamodel::find_class(std::string_view name) const {
+    for (const auto& c : classes_)
+        if (c->name() == name) return c.get();
+    return nullptr;
+}
+
+const MetaEnum* Metamodel::find_enum(std::string_view name) const {
+    for (const auto& e : enums_)
+        if (e->name() == name) return e.get();
+    return nullptr;
+}
+
+bool Metamodel::owns(const MetaClass& cls) const {
+    return std::any_of(classes_.begin(), classes_.end(),
+                       [&](const auto& c) { return c.get() == &cls; });
+}
+
+MetaAttribute attr_bool(std::string name, bool required, Value def) {
+    return {std::move(name), AttrType::Bool, nullptr, required, std::move(def)};
+}
+MetaAttribute attr_int(std::string name, bool required, Value def) {
+    return {std::move(name), AttrType::Int, nullptr, required, std::move(def)};
+}
+MetaAttribute attr_real(std::string name, bool required, Value def) {
+    return {std::move(name), AttrType::Real, nullptr, required, std::move(def)};
+}
+MetaAttribute attr_string(std::string name, bool required, Value def) {
+    return {std::move(name), AttrType::String, nullptr, required, std::move(def)};
+}
+MetaAttribute attr_enum(std::string name, const MetaEnum& e, bool required, Value def) {
+    return {std::move(name), AttrType::Enum, &e, required, std::move(def)};
+}
+
+MetaReference ref_contain(std::string name, const MetaClass& target, int lower, int upper) {
+    return {std::move(name), &target, true, lower, upper};
+}
+MetaReference ref_plain(std::string name, const MetaClass& target, int lower, int upper) {
+    return {std::move(name), &target, false, lower, upper};
+}
+
+} // namespace gmdf::meta

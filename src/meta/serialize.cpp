@@ -1,0 +1,265 @@
+#include "meta/serialize.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+
+namespace gmdf::meta {
+
+std::string write_model(const Model& model) {
+    std::ostringstream os;
+    os << "model " << model.metamodel().name() << "\n";
+    for (ObjectId id : model.ids()) {
+        const MObject& obj = model.at(id);
+        os << "object " << to_string(id) << " " << obj.meta_class().name() << "\n";
+        for (const MetaAttribute* a : obj.meta_class().all_attributes()) {
+            const Value& v = obj.attr(a->name);
+            if (v.is_null()) continue;
+            os << "  attr " << a->name << " = ";
+            // Enum literals are bare words; everything else uses the
+            // canonical Value literal.
+            if (a->type == AttrType::Enum)
+                os << v.as_string();
+            else
+                os << v.to_string();
+            os << "\n";
+        }
+        for (const MetaReference* r : obj.meta_class().all_references()) {
+            auto targets = obj.refs(r->name);
+            if (targets.empty()) continue;
+            os << "  ref " << r->name << " =";
+            for (ObjectId t : targets) os << " " << to_string(t);
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+namespace {
+
+/// Cursor over one line of input.
+struct LineCursor {
+    std::string_view text;
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+
+    void skip_ws() {
+        while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+    }
+
+    [[nodiscard]] bool at_end() {
+        skip_ws();
+        return pos >= text.size();
+    }
+
+    [[noreturn]] void fail(const std::string& msg) const { throw ParseError(line_no, msg); }
+
+    std::string_view word() {
+        skip_ws();
+        std::size_t start = pos;
+        while (pos < text.size() && !std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (start == pos) fail("expected a token");
+        return text.substr(start, pos - start);
+    }
+
+    void expect(std::string_view token) {
+        auto w = word();
+        if (w != token) fail("expected '" + std::string(token) + "', got '" + std::string(w) + "'");
+    }
+
+    std::string quoted_string() {
+        skip_ws();
+        if (pos >= text.size() || text[pos] != '"') fail("expected '\"'");
+        ++pos;
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size()) fail("dangling escape");
+                char e = text[pos++];
+                switch (e) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                default: fail(std::string("unknown escape '\\") + e + "'");
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos >= text.size()) fail("unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+};
+
+std::uint64_t parse_id_token(LineCursor& c, std::string_view tok) {
+    if (tok.size() < 2 || tok[0] != '@') c.fail("expected object id, got '" + std::string(tok) + "'");
+    std::uint64_t raw = 0;
+    auto [p, ec] = std::from_chars(tok.data() + 1, tok.data() + tok.size(), raw);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) c.fail("bad object id");
+    return raw;
+}
+
+std::int64_t parse_int(LineCursor& c, std::string_view tok) {
+    std::int64_t v = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) c.fail("bad integer literal");
+    return v;
+}
+
+double parse_real(LineCursor& c, std::string_view tok) {
+    double v = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) c.fail("bad real literal");
+    return v;
+}
+
+Value parse_scalar(LineCursor& c, AttrType type) {
+    switch (type) {
+    case AttrType::Bool: {
+        auto tok = c.word();
+        if (tok == "true") return Value(true);
+        if (tok == "false") return Value(false);
+        c.fail("bad bool literal");
+    }
+    case AttrType::Int: return Value(parse_int(c, c.word()));
+    case AttrType::Real: return Value(parse_real(c, c.word()));
+    case AttrType::String: return Value(c.quoted_string());
+    case AttrType::Enum: return Value(std::string(c.word()));
+    default: c.fail("scalar parse on list type");
+    }
+}
+
+Value parse_attr_value(LineCursor& c, AttrType type) {
+    if (type == AttrType::ListInt || type == AttrType::ListReal ||
+        type == AttrType::ListString) {
+        c.skip_ws();
+        if (c.pos >= c.text.size() || c.text[c.pos] != '[') c.fail("expected '['");
+        ++c.pos;
+        Value::List out;
+        AttrType elem = type == AttrType::ListInt    ? AttrType::Int
+                        : type == AttrType::ListReal ? AttrType::Real
+                                                     : AttrType::String;
+        c.skip_ws();
+        if (c.pos < c.text.size() && c.text[c.pos] == ']') {
+            ++c.pos;
+            return Value(std::move(out));
+        }
+        while (true) {
+            // Element tokens may end with ',' or ']'; split them manually.
+            c.skip_ws();
+            if (elem == AttrType::String) {
+                out.emplace_back(c.quoted_string());
+            } else {
+                std::size_t start = c.pos;
+                while (c.pos < c.text.size() && c.text[c.pos] != ',' && c.text[c.pos] != ']')
+                    ++c.pos;
+                std::string_view tok = c.text.substr(start, c.pos - start);
+                while (!tok.empty() && std::isspace(static_cast<unsigned char>(tok.back())))
+                    tok.remove_suffix(1);
+                out.emplace_back(elem == AttrType::Int ? Value(parse_int(c, tok))
+                                                       : Value(parse_real(c, tok)));
+            }
+            c.skip_ws();
+            if (c.pos < c.text.size() && c.text[c.pos] == ',') {
+                ++c.pos;
+                continue;
+            }
+            if (c.pos < c.text.size() && c.text[c.pos] == ']') {
+                ++c.pos;
+                return Value(std::move(out));
+            }
+            c.fail("expected ',' or ']' in list");
+        }
+    }
+    return parse_scalar(c, type);
+}
+
+} // namespace
+
+Model read_model(const Metamodel& mm, std::string_view text) {
+    Model model(mm);
+    std::map<std::uint64_t, ObjectId> id_map; // file id -> fresh id
+    struct PendingRef {
+        ObjectId source;
+        std::string ref_name;
+        std::uint64_t file_target;
+        std::size_t line_no;
+    };
+    std::vector<PendingRef> pending;
+
+    MObject* current = nullptr;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+
+    std::size_t offset = 0;
+    while (offset <= text.size()) {
+        std::size_t eol = text.find('\n', offset);
+        std::string_view line = text.substr(
+            offset, eol == std::string_view::npos ? std::string_view::npos : eol - offset);
+        offset = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+        ++line_no;
+
+        LineCursor c{line, 0, line_no};
+        if (c.at_end()) continue;
+        auto keyword = c.word();
+
+        if (keyword == "model") {
+            auto name = c.word();
+            if (name != mm.name())
+                c.fail("model references metamodel '" + std::string(name) + "', expected '" +
+                       mm.name() + "'");
+            saw_header = true;
+        } else if (keyword == "object") {
+            if (!saw_header) c.fail("'object' before 'model' header");
+            auto id_tok = c.word();
+            std::uint64_t file_id = parse_id_token(c, id_tok);
+            auto cls_name = c.word();
+            const MetaClass* cls = mm.find_class(cls_name);
+            if (cls == nullptr) c.fail("unknown class '" + std::string(cls_name) + "'");
+            if (id_map.contains(file_id)) c.fail("duplicate object id");
+            MObject& obj = model.create(*cls);
+            id_map.emplace(file_id, obj.id());
+            current = &obj;
+        } else if (keyword == "attr") {
+            if (current == nullptr) c.fail("'attr' outside an object block");
+            auto name = c.word();
+            const MetaAttribute* a = current->meta_class().find_attribute(name);
+            if (a == nullptr)
+                c.fail("class " + current->meta_class().name() + " has no attribute '" +
+                       std::string(name) + "'");
+            c.expect("=");
+            current->set_attr(a->name, parse_attr_value(c, a->type));
+        } else if (keyword == "ref") {
+            if (current == nullptr) c.fail("'ref' outside an object block");
+            auto name = c.word();
+            const MetaReference* r = current->meta_class().find_reference(name);
+            if (r == nullptr)
+                c.fail("class " + current->meta_class().name() + " has no reference '" +
+                       std::string(name) + "'");
+            c.expect("=");
+            while (!c.at_end()) {
+                auto tok = c.word();
+                pending.push_back({current->id(), r->name, parse_id_token(c, tok), line_no});
+            }
+        } else {
+            c.fail("unknown keyword '" + std::string(keyword) + "'");
+        }
+    }
+
+    for (const PendingRef& p : pending) {
+        auto it = id_map.find(p.file_target);
+        if (it == id_map.end())
+            throw ParseError(p.line_no,
+                             "reference to undefined object @" + std::to_string(p.file_target));
+        model.at(p.source).add_ref(p.ref_name, it->second);
+    }
+    return model;
+}
+
+} // namespace gmdf::meta

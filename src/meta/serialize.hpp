@@ -1,0 +1,45 @@
+// Text serialization of models (an XMI-like, line-oriented format).
+//
+// Format (one object block per live object, in id order):
+//
+//   model <metamodel-name>
+//   object @<id> <ClassName>
+//     attr <name> = <literal>
+//     ref <name> = @<id> @<id> ...
+//
+// Attribute literals are parsed according to the declared AttrType, so the
+// writer stays compact (enum literals are bare words, strings are quoted).
+// Reading remaps ids to fresh ones in file order; because the writer emits
+// objects in id order, write(read(write(m))) == write(read-result) holds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "meta/model.hpp"
+
+namespace gmdf::meta {
+
+/// Error raised by read_model on malformed input.
+class ParseError : public std::runtime_error {
+public:
+    ParseError(std::size_t line, const std::string& message)
+        : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+
+    [[nodiscard]] std::size_t line() const { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// Serializes every live object of `model`.
+[[nodiscard]] std::string write_model(const Model& model);
+
+/// Parses `text` into a fresh model over `mm`.
+/// Throws ParseError on syntax errors, unknown classes/features, or ids
+/// that never appear as an object. The result is not validated; run
+/// validate() for conformance diagnostics.
+[[nodiscard]] Model read_model(const Metamodel& mm, std::string_view text);
+
+} // namespace gmdf::meta

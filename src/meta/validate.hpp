@@ -1,0 +1,17 @@
+// Conformance validation of a Model against its Metamodel.
+#pragma once
+
+#include "meta/diagnostics.hpp"
+#include "meta/model.hpp"
+
+namespace gmdf::meta {
+
+/// Checks full conformance and returns every finding:
+///  - required attributes are set and enum values use declared literals
+///  - list attributes hold the declared element kind
+///  - references resolve to live objects of a compatible class
+///  - reference multiplicities hold
+///  - each object is contained at most once; containment has no cycles
+[[nodiscard]] Diagnostics validate(const Model& model);
+
+} // namespace gmdf::meta

@@ -1,0 +1,86 @@
+#include "meta/value.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gmdf::meta {
+
+ValueKind Value::kind() const {
+    switch (v_.index()) {
+    case 0: return ValueKind::Null;
+    case 1: return ValueKind::Bool;
+    case 2: return ValueKind::Int;
+    case 3: return ValueKind::Real;
+    case 4: return ValueKind::String;
+    case 5: return ValueKind::List;
+    }
+    return ValueKind::Null; // unreachable
+}
+
+double Value::as_number() const {
+    if (is_int()) return static_cast<double>(as_int());
+    if (is_real()) return as_real();
+    if (is_bool()) return as_bool() ? 1.0 : 0.0;
+    throw std::bad_variant_access();
+}
+
+namespace {
+
+void escape_into(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        case '\r': os << "\\r"; break;
+        default: os << c;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+std::string Value::to_string() const {
+    std::ostringstream os;
+    switch (kind()) {
+    case ValueKind::Null: os << "null"; break;
+    case ValueKind::Bool: os << (as_bool() ? "true" : "false"); break;
+    case ValueKind::Int: os << as_int(); break;
+    case ValueKind::Real: {
+        double d = as_real();
+        // Round-trippable real literal; always contains '.' or 'e' so the
+        // reader can distinguish it from an Int.
+        std::ostringstream tmp;
+        tmp.precision(17);
+        tmp << d;
+        std::string out = tmp.str();
+        if (out.find_first_of(".eE") == std::string::npos &&
+            out.find_first_of("nN") == std::string::npos) { // nan/inf keep as-is
+            out += ".0";
+        }
+        os << out;
+        break;
+    }
+    case ValueKind::String: escape_into(os, as_string()); break;
+    case ValueKind::List: {
+        os << '[';
+        const auto& l = as_list();
+        for (std::size_t i = 0; i < l.size(); ++i) {
+            if (i != 0) os << ", ";
+            os << l[i].to_string();
+        }
+        os << ']';
+        break;
+    }
+    }
+    return os.str();
+}
+
+std::string to_string(ObjectId id) { return "@" + std::to_string(id.raw); }
+
+} // namespace gmdf::meta

@@ -1,0 +1,80 @@
+// Dynamic typed values used for model attributes.
+//
+// The metamodeling core is reflective: attribute values of model objects are
+// not known at compile time, so they are carried in a small variant type.
+// Value is a regular type (copyable, comparable, hashable via to_string).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace gmdf::meta {
+
+/// Identifier of a model object. Ids are unique within one Model and are
+/// never reused, so a stale id can be detected (lookup returns null).
+struct ObjectId {
+    std::uint64_t raw = 0;
+
+    friend constexpr bool operator==(ObjectId, ObjectId) = default;
+    friend constexpr auto operator<=>(ObjectId, ObjectId) = default;
+
+    /// The null id; never assigned to a live object.
+    [[nodiscard]] constexpr bool is_null() const { return raw == 0; }
+};
+
+/// Kinds a Value can hold. Enum literals are carried as strings and
+/// validated against the declaring MetaEnum during model validation.
+enum class ValueKind { Null, Bool, Int, Real, String, List };
+
+/// A dynamically typed attribute value: null, bool, int64, double, string,
+/// or a homogeneous-by-convention list of values.
+class Value {
+public:
+    using List = std::vector<Value>;
+
+    Value() = default;
+    Value(bool b) : v_(b) {}
+    Value(std::int64_t i) : v_(i) {}
+    Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+    Value(double d) : v_(d) {}
+    Value(std::string s) : v_(std::move(s)) {}
+    Value(const char* s) : v_(std::string(s)) {}
+    Value(List l) : v_(std::move(l)) {}
+
+    [[nodiscard]] ValueKind kind() const;
+
+    [[nodiscard]] bool is_null() const { return kind() == ValueKind::Null; }
+    [[nodiscard]] bool is_bool() const { return kind() == ValueKind::Bool; }
+    [[nodiscard]] bool is_int() const { return kind() == ValueKind::Int; }
+    [[nodiscard]] bool is_real() const { return kind() == ValueKind::Real; }
+    [[nodiscard]] bool is_string() const { return kind() == ValueKind::String; }
+    [[nodiscard]] bool is_list() const { return kind() == ValueKind::List; }
+
+    /// Checked accessors; throw std::bad_variant_access on kind mismatch.
+    [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+    [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+    [[nodiscard]] double as_real() const { return std::get<double>(v_); }
+    [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+    [[nodiscard]] const List& as_list() const { return std::get<List>(v_); }
+    [[nodiscard]] List& as_list() { return std::get<List>(v_); }
+
+    /// Numeric coercion: Int or Real as double, Bool as 0.0/1.0 (pin
+    /// values are numeric; comparisons yield booleans). Throws otherwise.
+    [[nodiscard]] double as_number() const;
+
+    /// Canonical textual form (used by serialization and diagnostics).
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Value&, const Value&) = default;
+
+private:
+    std::variant<std::monostate, bool, std::int64_t, double, std::string, List> v_;
+};
+
+/// Renders an ObjectId as "@<raw>" for diagnostics.
+[[nodiscard]] std::string to_string(ObjectId id);
+
+} // namespace gmdf::meta

@@ -1,0 +1,110 @@
+#include "render/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gmdf::render {
+
+namespace {
+
+class Canvas {
+public:
+    Canvas(std::size_t w, std::size_t h) : w_(w), h_(h), cells_(w * h, ' ') {}
+
+    void put(std::size_t x, std::size_t y, char c, bool weak = false) {
+        if (x >= w_ || y >= h_) return;
+        char& cell = cells_[y * w_ + x];
+        if (weak && cell != ' ') return; // edges never overwrite boxes/text
+        cell = c;
+    }
+
+    void text(std::size_t x, std::size_t y, const std::string& s) {
+        for (std::size_t i = 0; i < s.size(); ++i) put(x + i, y, s[i]);
+    }
+
+    [[nodiscard]] std::string str() const {
+        std::string out;
+        for (std::size_t y = 0; y < h_; ++y) {
+            std::string line(cells_.begin() + static_cast<std::ptrdiff_t>(y * w_),
+                             cells_.begin() + static_cast<std::ptrdiff_t>((y + 1) * w_));
+            // Trim trailing spaces per line.
+            while (!line.empty() && line.back() == ' ') line.pop_back();
+            out += line;
+            out += '\n';
+        }
+        return out;
+    }
+
+private:
+    std::size_t w_, h_;
+    std::vector<char> cells_;
+};
+
+} // namespace
+
+std::string render_ascii(const Scene& scene, const AsciiOptions& opt) {
+    if (scene.nodes().empty()) return "(empty scene)\n";
+    Rect b = scene.bounds();
+    auto cx = [&](double x) {
+        return static_cast<std::size_t>(std::max(0.0, (x - b.x) / opt.x_scale));
+    };
+    auto cy = [&](double y) {
+        return static_cast<std::size_t>(std::max(0.0, (y - b.y) / opt.y_scale));
+    };
+    std::size_t w = std::min(opt.max_width, cx(b.x + b.w) + 4);
+    std::size_t h = cy(b.y + b.h) + 3;
+    Canvas canvas(w, h);
+
+    // Edges first (boxes and labels overdraw them).
+    for (const auto& e : scene.edges()) {
+        const SceneNode* from = scene.find_node(e.from);
+        const SceneNode* to = scene.find_node(e.to);
+        if (from == nullptr || to == nullptr) continue;
+        double x0 = from->rect.cx(), y0 = from->rect.cy();
+        double x1 = to->rect.cx(), y1 = to->rect.cy();
+        int steps = static_cast<int>(std::max(std::fabs(x1 - x0) / opt.x_scale,
+                                              std::fabs(y1 - y0) / opt.y_scale)) +
+                    1;
+        char mark = e.style.highlighted ? '*' : '.';
+        for (int i = 1; i < steps; ++i) {
+            double t = static_cast<double>(i) / steps;
+            canvas.put(cx(x0 + (x1 - x0) * t), cy(y0 + (y1 - y0) * t), mark, /*weak=*/true);
+        }
+        canvas.put(cx(x1), cy(y1), '>', /*weak=*/true);
+    }
+
+    for (const auto& n : scene.nodes()) {
+        std::size_t x0 = cx(n.rect.x), x1 = cx(n.rect.x + n.rect.w);
+        std::size_t y0 = cy(n.rect.y), y1 = cy(n.rect.y + n.rect.h);
+        if (x1 <= x0 + 1) x1 = x0 + 2;
+        if (y1 <= y0 + 1) y1 = y0 + 2;
+        char horiz = n.style.highlighted ? '#' : (n.style.dimmed ? '.' : '-');
+        char vert = n.style.highlighted ? '#' : (n.style.dimmed ? '.' : '|');
+        char corner = n.style.highlighted ? '#' : '+';
+        for (std::size_t x = x0; x <= x1; ++x) {
+            canvas.put(x, y0, horiz);
+            canvas.put(x, y1, horiz);
+        }
+        for (std::size_t y = y0; y <= y1; ++y) {
+            canvas.put(x0, y, vert);
+            canvas.put(x1, y, vert);
+        }
+        canvas.put(x0, y0, corner);
+        canvas.put(x1, y0, corner);
+        canvas.put(x0, y1, corner);
+        canvas.put(x1, y1, corner);
+        std::string label = n.label;
+        std::size_t room = x1 - x0 > 1 ? x1 - x0 - 1 : 0;
+        if (label.size() > room) label.resize(room);
+        canvas.text(x0 + 1, y0 + 1, label);
+        if (!n.sublabel.empty() && y1 > y0 + 2) {
+            std::string sub = n.sublabel;
+            if (sub.size() > room) sub.resize(room);
+            canvas.text(x0 + 1, y0 + 2, sub);
+        }
+    }
+    return canvas.str();
+}
+
+} // namespace gmdf::render

@@ -1,0 +1,23 @@
+// ASCII renderer: animation frames on a terminal (and in test output).
+#pragma once
+
+#include <string>
+
+#include "render/scene.hpp"
+
+namespace gmdf::render {
+
+struct AsciiOptions {
+    /// World units per character cell.
+    double x_scale = 8.0;
+    double y_scale = 16.0;
+    std::size_t max_width = 200;
+};
+
+/// Renders the scene onto a character canvas. Highlighted nodes use '#'
+/// borders (plain nodes use '+---+' boxes); dimmed nodes use '.'.
+/// Edges are drawn as '
+///  *' dotted straight runs between node centers.
+[[nodiscard]] std::string render_ascii(const Scene& scene, const AsciiOptions& options = {});
+
+} // namespace gmdf::render

@@ -1,0 +1,84 @@
+#include "render/layout.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gmdf::render {
+
+void auto_layout(Scene& scene, const LayoutOptions& opt) {
+    auto& nodes = scene.nodes();
+    if (nodes.empty()) return;
+
+    std::map<std::uint64_t, std::size_t> index;
+    for (std::size_t i = 0; i < nodes.size(); ++i) index[nodes[i].id] = i;
+
+    // Adjacency, ignoring self loops; cycle edges are relaxed by capping
+    // the relaxation rounds.
+    std::vector<std::vector<std::size_t>> out(nodes.size());
+    std::vector<int> indeg(static_cast<int>(nodes.size()), 0);
+    for (const auto& e : scene.edges()) {
+        auto fi = index.find(e.from);
+        auto ti = index.find(e.to);
+        if (fi == index.end() || ti == index.end() || fi->second == ti->second) continue;
+        out[fi->second].push_back(ti->second);
+        ++indeg[ti->second];
+    }
+
+    // Longest-path ranking with bounded relaxation (handles cycles).
+    std::vector<int> rank(nodes.size(), 0);
+    for (std::size_t round = 0; round < nodes.size(); ++round) {
+        bool changed = false;
+        for (std::size_t i = 0; i < nodes.size(); ++i)
+            for (std::size_t j : out[i])
+                if (rank[j] < rank[i] + 1 && rank[i] + 1 <= static_cast<int>(nodes.size())) {
+                    rank[j] = rank[i] + 1;
+                    changed = true;
+                }
+        if (!changed) break;
+    }
+
+    // Group members share the rank of their group minimum? Groups are
+    // visual only; keep ranks but sort within layers so groups cluster.
+    int max_rank = 0;
+    for (int r : rank) max_rank = std::max(max_rank, r);
+    std::vector<std::vector<std::size_t>> layers(static_cast<std::size_t>(max_rank) + 1);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        layers[static_cast<std::size_t>(rank[i])].push_back(i);
+
+    // One barycenter pass: order each layer by mean predecessor row.
+    std::vector<double> row(nodes.size(), 0.0);
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        auto& layer = layers[l];
+        if (l > 0) {
+            std::vector<std::vector<std::size_t>> preds(nodes.size());
+            for (std::size_t i = 0; i < nodes.size(); ++i)
+                for (std::size_t j : out[i]) preds[j].push_back(i);
+            std::stable_sort(layer.begin(), layer.end(), [&](std::size_t a, std::size_t b) {
+                auto bary = [&](std::size_t n) {
+                    if (preds[n].empty()) return row[n];
+                    double sum = 0;
+                    for (std::size_t p : preds[n]) sum += row[p];
+                    return sum / static_cast<double>(preds[n].size());
+                };
+                double ba = bary(a), bb = bary(b);
+                if (ba != bb) return ba < bb;
+                return nodes[a].group < nodes[b].group; // cluster groups
+            });
+        }
+        for (std::size_t r = 0; r < layer.size(); ++r) row[layer[r]] = static_cast<double>(r);
+    }
+
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        for (std::size_t r = 0; r < layers[l].size(); ++r) {
+            SceneNode& n = nodes[layers[l][r]];
+            if (n.rect.w == 0) n.rect.w = opt.node_w;
+            if (n.rect.h == 0) n.rect.h = opt.node_h;
+            n.rect.x = static_cast<double>(l) * (opt.node_w + opt.h_gap) + opt.group_pad;
+            n.rect.y = static_cast<double>(r) * (opt.node_h + opt.v_gap) + opt.group_pad;
+        }
+    }
+}
+
+} // namespace gmdf::render

@@ -1,0 +1,23 @@
+// Automatic layout for abstracted debug models.
+#pragma once
+
+#include "render/scene.hpp"
+
+namespace gmdf::render {
+
+struct LayoutOptions {
+    double node_w = 120;
+    double node_h = 48;
+    double h_gap = 60;  ///< gap between layers
+    double v_gap = 28;  ///< gap within a layer
+    double group_pad = 24;
+};
+
+/// Layered left-to-right layout (Sugiyama-style): nodes are ranked by
+/// longest path from the sources along scene edges (cycles are relaxed),
+/// ordered within a layer by a single barycenter pass, and grouped nodes
+/// are kept on adjacent rows. Works for dataflow networks and state
+/// graphs alike.
+void auto_layout(Scene& scene, const LayoutOptions& options = {});
+
+} // namespace gmdf::render

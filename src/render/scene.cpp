@@ -1,0 +1,71 @@
+#include "render/scene.hpp"
+
+#include <algorithm>
+
+namespace gmdf::render {
+
+const char* to_string(Shape s) {
+    switch (s) {
+    case Shape::Rectangle: return "Rectangle";
+    case Shape::Circle: return "Circle";
+    case Shape::Triangle: return "Triangle";
+    case Shape::Diamond: return "Diamond";
+    case Shape::Line: return "Line";
+    case Shape::Arrow: return "Arrow";
+    }
+    return "?";
+}
+
+SceneNode& Scene::add_node(SceneNode n) {
+    node_index_[n.id] = nodes_.size();
+    nodes_.push_back(std::move(n));
+    return nodes_.back();
+}
+
+SceneEdge& Scene::add_edge(SceneEdge e) {
+    edge_index_[e.id] = edges_.size();
+    edges_.push_back(std::move(e));
+    return edges_.back();
+}
+
+SceneNode* Scene::find_node(std::uint64_t id) {
+    auto it = node_index_.find(id);
+    return it == node_index_.end() ? nullptr : &nodes_[it->second];
+}
+
+const SceneNode* Scene::find_node(std::uint64_t id) const {
+    auto it = node_index_.find(id);
+    return it == node_index_.end() ? nullptr : &nodes_[it->second];
+}
+
+SceneEdge* Scene::find_edge(std::uint64_t id) {
+    auto it = edge_index_.find(id);
+    return it == edge_index_.end() ? nullptr : &edges_[it->second];
+}
+
+Rect Scene::bounds() const {
+    if (nodes_.empty()) return {};
+    double x0 = nodes_[0].rect.x, y0 = nodes_[0].rect.y;
+    double x1 = x0, y1 = y0;
+    for (const auto& n : nodes_) {
+        x0 = std::min(x0, n.rect.x);
+        y0 = std::min(y0, n.rect.y);
+        x1 = std::max(x1, n.rect.x + n.rect.w);
+        y1 = std::max(y1, n.rect.y + n.rect.h);
+    }
+    return {x0, y0, x1 - x0, y1 - y0};
+}
+
+void Scene::decay_highlights(double factor) {
+    auto decay = [&](Style& s) {
+        s.intensity *= factor;
+        if (s.intensity < 0.05) {
+            s.intensity = 0.0;
+            s.highlighted = false;
+        }
+    };
+    for (auto& n : nodes_) decay(n.style);
+    for (auto& e : edges_) decay(e.style);
+}
+
+} // namespace gmdf::render

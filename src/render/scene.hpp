@@ -1,0 +1,87 @@
+// Scene graph for graphical model rendering.
+//
+// The Eclipse prototype renders GDM elements through GEF; here the scene
+// is a plain data structure rendered to SVG or ASCII. Animation is a
+// sequence of scene states (highlight/dim/label changes between frames).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gmdf::render {
+
+/// Graphical patterns offered by the abstraction guide (paper Fig. 4
+/// shows Rectangle / Triangle / Circle / Arrow; Line and Diamond round
+/// out the set).
+enum class Shape { Rectangle, Circle, Triangle, Diamond, Line, Arrow };
+
+[[nodiscard]] const char* to_string(Shape s);
+
+struct Style {
+    bool highlighted = false;
+    bool dimmed = false;
+    /// Highlight intensity in [0,1]; animated reactions decay it.
+    double intensity = 0.0;
+};
+
+struct Rect {
+    double x = 0, y = 0, w = 0, h = 0;
+
+    [[nodiscard]] double cx() const { return x + w / 2; }
+    [[nodiscard]] double cy() const { return y + h / 2; }
+};
+
+/// A node item keyed by the model element it visualizes.
+struct SceneNode {
+    std::uint64_t id = 0; ///< source model element id
+    Shape shape = Shape::Rectangle;
+    Rect rect;
+    std::string label;
+    std::string sublabel; ///< second line: live values, state names...
+    Style style;
+    /// Optional grouping (e.g. states inside their machine's frame).
+    std::uint64_t group = 0;
+};
+
+/// An edge item (transitions, connections).
+struct SceneEdge {
+    std::uint64_t id = 0;
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+    std::string label;
+    Style style;
+};
+
+/// The drawable scene; mutated by debugger reactions, read by renderers.
+class Scene {
+public:
+    SceneNode& add_node(SceneNode n);
+    SceneEdge& add_edge(SceneEdge e);
+
+    [[nodiscard]] SceneNode* find_node(std::uint64_t id);
+    [[nodiscard]] const SceneNode* find_node(std::uint64_t id) const;
+    [[nodiscard]] SceneEdge* find_edge(std::uint64_t id);
+
+    [[nodiscard]] std::vector<SceneNode>& nodes() { return nodes_; }
+    [[nodiscard]] const std::vector<SceneNode>& nodes() const { return nodes_; }
+    [[nodiscard]] std::vector<SceneEdge>& edges() { return edges_; }
+    [[nodiscard]] const std::vector<SceneEdge>& edges() const { return edges_; }
+
+    /// Bounding box of all nodes (empty scene: zero rect).
+    [[nodiscard]] Rect bounds() const;
+
+    /// Multiplies every intensity by `factor` and drops highlights that
+    /// fall below 0.05 (per-frame animation decay).
+    void decay_highlights(double factor);
+
+private:
+    std::vector<SceneNode> nodes_;
+    std::vector<SceneEdge> edges_;
+    std::map<std::uint64_t, std::size_t> node_index_;
+    std::map<std::uint64_t, std::size_t> edge_index_;
+};
+
+} // namespace gmdf::render

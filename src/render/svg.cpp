@@ -1,0 +1,106 @@
+#include "render/svg.hpp"
+
+#include <sstream>
+
+namespace gmdf::render {
+
+namespace {
+
+std::string escape_xml(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '"': out += "&quot;"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+void emit_shape(std::ostringstream& os, const SceneNode& n, const SvgOptions& opt) {
+    const Rect& r = n.rect;
+    std::string fill = opt.node_fill;
+    double stroke_w = 1.5;
+    if (n.style.highlighted) {
+        fill = opt.highlight_color;
+        stroke_w = 3.0;
+    }
+    std::ostringstream style;
+    style << "fill=\"" << fill << "\" stroke=\"" << opt.stroke << "\" stroke-width=\""
+          << stroke_w << "\"";
+    if (n.style.highlighted)
+        style << " fill-opacity=\"" << (0.35 + 0.65 * n.style.intensity) << "\"";
+    if (n.style.dimmed) style << " opacity=\"0.35\"";
+
+    switch (n.shape) {
+    case Shape::Circle:
+        os << "  <ellipse cx=\"" << r.cx() << "\" cy=\"" << r.cy() << "\" rx=\"" << r.w / 2
+           << "\" ry=\"" << r.h / 2 << "\" " << style.str() << "/>\n";
+        break;
+    case Shape::Triangle:
+        os << "  <polygon points=\"" << r.cx() << "," << r.y << " " << r.x + r.w << ","
+           << r.y + r.h << " " << r.x << "," << r.y + r.h << "\" " << style.str() << "/>\n";
+        break;
+    case Shape::Diamond:
+        os << "  <polygon points=\"" << r.cx() << "," << r.y << " " << r.x + r.w << ","
+           << r.cy() << " " << r.cx() << "," << r.y + r.h << " " << r.x << "," << r.cy()
+           << "\" " << style.str() << "/>\n";
+        break;
+    case Shape::Line:
+        os << "  <line x1=\"" << r.x << "\" y1=\"" << r.cy() << "\" x2=\"" << r.x + r.w
+           << "\" y2=\"" << r.cy() << "\" " << style.str() << "/>\n";
+        break;
+    case Shape::Arrow:
+    case Shape::Rectangle:
+        os << "  <rect x=\"" << r.x << "\" y=\"" << r.y << "\" width=\"" << r.w
+           << "\" height=\"" << r.h << "\" rx=\"6\" " << style.str() << "/>\n";
+        break;
+    }
+    os << "  <text x=\"" << r.cx() << "\" y=\"" << r.cy() - 2
+       << "\" text-anchor=\"middle\" font-size=\"12\" font-family=\"monospace\">"
+       << escape_xml(n.label) << "</text>\n";
+    if (!n.sublabel.empty())
+        os << "  <text x=\"" << r.cx() << "\" y=\"" << r.cy() + 12
+           << "\" text-anchor=\"middle\" font-size=\"10\" fill=\"#555\" "
+              "font-family=\"monospace\">"
+           << escape_xml(n.sublabel) << "</text>\n";
+}
+
+} // namespace
+
+std::string render_svg(const Scene& scene, const SvgOptions& opt) {
+    Rect b = scene.bounds();
+    double w = b.w + 2 * opt.padding, h = b.h + 2 * opt.padding;
+    std::ostringstream os;
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+       << "\" viewBox=\"" << b.x - opt.padding << " " << b.y - opt.padding << " " << w << " "
+       << h << "\">\n";
+    os << "  <defs><marker id=\"arrow\" markerWidth=\"10\" markerHeight=\"8\" refX=\"9\" "
+          "refY=\"4\" orient=\"auto\"><path d=\"M0,0 L10,4 L0,8 z\" fill=\"#334\"/>"
+          "</marker></defs>\n";
+
+    for (const auto& e : scene.edges()) {
+        const SceneNode* from = scene.find_node(e.from);
+        const SceneNode* to = scene.find_node(e.to);
+        if (from == nullptr || to == nullptr) continue;
+        double sw = e.style.highlighted ? 3.0 : 1.2;
+        std::string color = e.style.highlighted ? "#ff3300" : "#334";
+        os << "  <line x1=\"" << from->rect.cx() << "\" y1=\"" << from->rect.cy()
+           << "\" x2=\"" << to->rect.cx() << "\" y2=\"" << to->rect.cy() << "\" stroke=\""
+           << color << "\" stroke-width=\"" << sw << "\" marker-end=\"url(#arrow)\"/>\n";
+        if (!e.label.empty())
+            os << "  <text x=\"" << (from->rect.cx() + to->rect.cx()) / 2 << "\" y=\""
+               << (from->rect.cy() + to->rect.cy()) / 2 - 4
+               << "\" text-anchor=\"middle\" font-size=\"10\" fill=\"#633\" "
+                  "font-family=\"monospace\">"
+               << escape_xml(e.label) << "</text>\n";
+    }
+    for (const auto& n : scene.nodes()) emit_shape(os, n, opt);
+    os << "</svg>\n";
+    return os.str();
+}
+
+} // namespace gmdf::render

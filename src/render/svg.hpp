@@ -1,0 +1,21 @@
+// SVG renderer for scenes (the diffable stand-in for the GEF canvas).
+#pragma once
+
+#include <string>
+
+#include "render/scene.hpp"
+
+namespace gmdf::render {
+
+struct SvgOptions {
+    double padding = 20;
+    /// Highlight fill; intensity scales the alpha.
+    std::string highlight_color = "#ff8800";
+    std::string node_fill = "#e8eef7";
+    std::string stroke = "#334";
+};
+
+/// Renders the scene as a standalone SVG document.
+[[nodiscard]] std::string render_svg(const Scene& scene, const SvgOptions& options = {});
+
+} // namespace gmdf::render

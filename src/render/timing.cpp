@@ -1,0 +1,61 @@
+#include "render/timing.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace gmdf::render {
+
+std::size_t TimingDiagram::add_lane(std::string name) {
+    lanes_.push_back({std::move(name), {}});
+    return lanes_.size() - 1;
+}
+
+void TimingDiagram::change(std::size_t lane, std::int64_t t_ns, std::string value) {
+    Lane& l = lanes_.at(lane);
+    if (!l.changes.empty() && t_ns < l.changes.back().first)
+        throw std::invalid_argument("timing diagram changes must be time-ordered");
+    l.changes.emplace_back(t_ns, std::move(value));
+}
+
+std::string TimingDiagram::render_ascii(std::size_t columns, std::int64_t t0,
+                                        std::int64_t t1) const {
+    // Data range.
+    std::int64_t lo = t0, hi = t1;
+    if (lo < 0 || hi < 0) {
+        lo = 0;
+        hi = 1;
+        for (const Lane& l : lanes_)
+            for (const auto& [t, _] : l.changes) hi = std::max(hi, t);
+    }
+    if (hi <= lo) hi = lo + 1;
+
+    std::size_t name_w = 4;
+    for (const Lane& l : lanes_) name_w = std::max(name_w, l.name.size());
+
+    std::ostringstream os;
+    os << std::string(name_w, ' ') << " t=" << lo << "ns"
+       << std::string(columns > 20 ? columns - 20 : 1, ' ') << "t=" << hi << "ns\n";
+    for (const Lane& l : lanes_) {
+        os << l.name << std::string(name_w - l.name.size(), ' ') << " ";
+        std::size_t change_idx = 0;
+        std::string current = "_";
+        for (std::size_t col = 0; col < columns; ++col) {
+            std::int64_t bucket_start =
+                lo + static_cast<std::int64_t>(col) * (hi - lo) / static_cast<std::int64_t>(columns);
+            std::int64_t bucket_end =
+                lo + static_cast<std::int64_t>(col + 1) * (hi - lo) / static_cast<std::int64_t>(columns);
+            bool changed = false;
+            while (change_idx < l.changes.size() && l.changes[change_idx].first < bucket_end) {
+                if (l.changes[change_idx].first >= bucket_start) changed = true;
+                current = l.changes[change_idx].second;
+                ++change_idx;
+            }
+            os << (changed ? '|' : (current.empty() ? '_' : current[0]));
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace gmdf::render

@@ -1,0 +1,42 @@
+// Timing diagrams: the paper's replay companion view.
+//
+// "GDM animation will trace model-level behavior and always make a record
+// of the execution trace. The user can then monitor the application's
+// behavior via a replay function associated with a timing diagram."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmdf::render {
+
+/// One lane of a timing diagram: a named discrete-valued waveform.
+struct Lane {
+    std::string name;
+    /// (time_ns, value-label) change points, time-ascending.
+    std::vector<std::pair<std::int64_t, std::string>> changes;
+};
+
+class TimingDiagram {
+public:
+    /// Adds a lane and returns its index.
+    std::size_t add_lane(std::string name);
+
+    /// Records a value change; times must be non-decreasing per lane.
+    void change(std::size_t lane, std::int64_t t_ns, std::string value);
+
+    [[nodiscard]] const std::vector<Lane>& lanes() const { return lanes_; }
+
+    /// Renders an ASCII waveform view: one row per lane, `columns` time
+    /// buckets spanning [t0, t1] (defaults to the data range); a cell
+    /// shows the first letter of the value active in that bucket and '|'
+    /// at change points.
+    [[nodiscard]] std::string render_ascii(std::size_t columns = 72, std::int64_t t0 = -1,
+                                           std::int64_t t1 = -1) const;
+
+private:
+    std::vector<Lane> lanes_;
+};
+
+} // namespace gmdf::render

@@ -1,0 +1,75 @@
+#include "render/vcd.hpp"
+
+#include <algorithm>
+#include <bitset>
+#include <sstream>
+#include <stdexcept>
+
+namespace gmdf::render {
+
+std::string VcdWriter::code_for(std::size_t index) const {
+    // Printable identifier codes: ! .. ~ then two-character codes.
+    std::string code;
+    std::size_t n = index;
+    do {
+        code += static_cast<char>('!' + n % 94);
+        n /= 94;
+    } while (n > 0);
+    return code;
+}
+
+std::size_t VcdWriter::add_real(const std::string& name) {
+    vars_.push_back({name, true, code_for(vars_.size())});
+    return vars_.size() - 1;
+}
+
+std::size_t VcdWriter::add_int(const std::string& name) {
+    vars_.push_back({name, false, code_for(vars_.size())});
+    return vars_.size() - 1;
+}
+
+void VcdWriter::change_real(std::size_t var, std::int64_t t, double value) {
+    if (!vars_.at(var).is_real) throw std::invalid_argument("variable is not real");
+    changes_.push_back({t, var, value, 0});
+}
+
+void VcdWriter::change_int(std::size_t var, std::int64_t t, std::int64_t value) {
+    if (vars_.at(var).is_real) throw std::invalid_argument("variable is not integral");
+    changes_.push_back({t, var, 0.0, value});
+}
+
+std::string VcdWriter::str() const {
+    std::ostringstream os;
+    os << "$date gmdf trace $end\n";
+    os << "$version gmdf 1.0 $end\n";
+    os << "$timescale " << timescale_ << " $end\n";
+    os << "$scope module gmdf $end\n";
+    for (const Var& v : vars_) {
+        if (v.is_real)
+            os << "$var real 64 " << v.code << " " << v.name << " $end\n";
+        else
+            os << "$var wire 32 " << v.code << " " << v.name << " $end\n";
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+
+    auto sorted = changes_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Change& a, const Change& b) { return a.t < b.t; });
+    std::int64_t current_t = -1;
+    for (const Change& c : sorted) {
+        if (c.t != current_t) {
+            os << "#" << c.t << "\n";
+            current_t = c.t;
+        }
+        const Var& v = vars_[c.var];
+        if (v.is_real) {
+            os << "r" << c.real_v << " " << v.code << "\n";
+        } else {
+            os << "b" << std::bitset<32>(static_cast<unsigned long long>(c.int_v)).to_string()
+               << " " << v.code << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace gmdf::render

@@ -1,0 +1,49 @@
+// Value Change Dump (IEEE 1364) writer for execution traces, so recorded
+// model behaviour can be inspected in standard waveform viewers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmdf::render {
+
+class VcdWriter {
+public:
+    /// `timescale` e.g. "1ns".
+    explicit VcdWriter(std::string timescale = "1ns") : timescale_(std::move(timescale)) {}
+
+    /// Declares a real-valued variable; returns its handle.
+    std::size_t add_real(const std::string& name);
+
+    /// Declares an integer (32-bit wire) variable; returns its handle.
+    std::size_t add_int(const std::string& name);
+
+    /// Records a change; times must be globally non-decreasing.
+    void change_real(std::size_t var, std::int64_t t, double value);
+    void change_int(std::size_t var, std::int64_t t, std::int64_t value);
+
+    /// Produces the complete VCD document.
+    [[nodiscard]] std::string str() const;
+
+private:
+    struct Var {
+        std::string name;
+        bool is_real;
+        std::string code; ///< VCD identifier code
+    };
+    struct Change {
+        std::int64_t t;
+        std::size_t var;
+        double real_v;
+        std::int64_t int_v;
+    };
+
+    std::string code_for(std::size_t index) const;
+
+    std::string timescale_;
+    std::vector<Var> vars_;
+    std::vector<Change> changes_;
+};
+
+} // namespace gmdf::render

@@ -1,0 +1,43 @@
+#include "rt/des.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace gmdf::rt {
+
+void Simulator::at(SimTime t, std::function<void()> fn) {
+    if (t < now_) throw std::invalid_argument("cannot schedule event in the past");
+    queue_.push({t, seq_++, std::move(fn)});
+}
+
+void Simulator::every(SimTime start, SimTime period, std::function<void()> fn) {
+    if (period <= 0) throw std::invalid_argument("period must be positive");
+    // The wrapper reschedules itself; shared_ptr lets it self-reference.
+    auto wrapper = std::make_shared<std::function<void(SimTime)>>();
+    *wrapper = [this, period, fn = std::move(fn), wrapper](SimTime due) {
+        fn();
+        at(due + period, [wrapper, due, period] { (*wrapper)(due + period); });
+    };
+    at(start, [wrapper, start] { (*wrapper)(start); });
+}
+
+bool Simulator::step() {
+    if (queue_.empty()) return false;
+    // Move the handler out before popping so it can schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ev.fn();
+    return true;
+}
+
+void Simulator::run_until(SimTime horizon) {
+    while (!queue_.empty() && queue_.top().t <= horizon) step();
+    if (now_ < horizon) now_ = horizon;
+}
+
+void Simulator::run_all() {
+    while (step()) {}
+}
+
+} // namespace gmdf::rt

@@ -1,0 +1,69 @@
+// Discrete-event simulation kernel.
+//
+// The simulated embedded target (nodes, CPUs, links, the debugger host)
+// all advance on one event queue with nanosecond resolution. Events at the
+// same timestamp execute in scheduling order (stable FIFO).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gmdf::rt {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kUs = 1'000;            ///< one microsecond
+constexpr SimTime kMs = 1'000'000;        ///< one millisecond
+constexpr SimTime kSec = 1'000'000'000;   ///< one second
+
+/// Minimal event-queue simulator.
+class Simulator {
+public:
+    /// Current simulation time (time of the last dispatched event, or the
+    /// horizon reached by run_until).
+    [[nodiscard]] SimTime now() const { return now_; }
+
+    /// Schedules `fn` at absolute time `t`; `t` must be >= now().
+    /// Throws std::invalid_argument on an attempt to schedule in the past.
+    void at(SimTime t, std::function<void()> fn);
+
+    /// Schedules `fn` at now() + dt (dt >= 0).
+    void after(SimTime dt, std::function<void()> fn) { at(now_ + dt, std::move(fn)); }
+
+    /// Schedules `fn` at `start` and then every `period` thereafter, until
+    /// the simulation stops being run. `period` must be positive.
+    void every(SimTime start, SimTime period, std::function<void()> fn);
+
+    /// Dispatches the next event; false when the queue is empty.
+    bool step();
+
+    /// Dispatches all events with time <= horizon, then sets now() to the
+    /// horizon (even if the queue still has later events).
+    void run_until(SimTime horizon);
+
+    /// Dispatches events until the queue is empty.
+    void run_all();
+
+    [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+private:
+    struct Event {
+        SimTime t;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+        }
+    };
+
+    SimTime now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace gmdf::rt

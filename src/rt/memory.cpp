@@ -1,0 +1,40 @@
+#include "rt/memory.hpp"
+
+#include <stdexcept>
+
+namespace gmdf::rt {
+
+std::uint32_t MemoryMap::alloc(const std::string& name) {
+    if (by_name_.contains(name))
+        throw std::invalid_argument("memory symbol '" + name + "' already allocated");
+    std::uint32_t addr = kBase + static_cast<std::uint32_t>(words_.size()) * 4u;
+    words_.push_back(0);
+    symbols_.emplace_back(name, addr);
+    by_name_.emplace(name, addr);
+    return addr;
+}
+
+std::uint32_t MemoryMap::address_of(std::string_view name) const {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        throw std::out_of_range("no memory symbol '" + std::string(name) + "'");
+    return it->second;
+}
+
+bool MemoryMap::has_symbol(std::string_view name) const { return by_name_.contains(name); }
+
+std::size_t MemoryMap::index_of(std::uint32_t addr) const {
+    if (addr < kBase || (addr - kBase) % 4 != 0)
+        throw std::out_of_range("unaligned or out-of-range address");
+    std::size_t idx = (addr - kBase) / 4;
+    if (idx >= words_.size()) throw std::out_of_range("address beyond allocated memory");
+    return idx;
+}
+
+std::uint32_t MemoryMap::read_u32(std::uint32_t addr) const { return words_[index_of(addr)]; }
+
+void MemoryMap::write_u32(std::uint32_t addr, std::uint32_t value) {
+    words_[index_of(addr)] = value;
+}
+
+} // namespace gmdf::rt

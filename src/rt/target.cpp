@@ -1,0 +1,236 @@
+#include "rt/target.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gmdf::rt {
+
+int SignalStore::add(const std::string& name, double init) {
+    if (by_name_.contains(name))
+        throw std::invalid_argument("duplicate signal '" + name + "'");
+    int idx = static_cast<int>(names_.size());
+    names_.push_back(name);
+    init_.push_back(init);
+    by_name_.emplace(name, idx);
+    return idx;
+}
+
+int SignalStore::index_of(std::string_view name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? -1 : it->second;
+}
+
+void TaskContext::send_debug(std::span<const std::uint8_t> bytes) {
+    instr_cycles_ += uart_cycles_per_frame_ +
+                     uart_cycles_per_byte_ * static_cast<std::uint64_t>(bytes.size());
+    debug_bytes_.insert(debug_bytes_.end(), bytes.begin(), bytes.end());
+}
+
+void TaskContext::poke_u32(std::uint32_t addr, std::uint32_t value) {
+    pokes_.emplace_back(addr, value);
+}
+
+void TaskContext::poke_f32(std::uint32_t addr, float value) {
+    poke_u32(addr, std::bit_cast<std::uint32_t>(value));
+}
+
+Node::Node(Target& target, int id, double clock_hz)
+    : target_(&target), id_(id), clock_hz_(clock_hz) {}
+
+void Node::add_task(TaskConfig cfg, std::unique_ptr<TaskBody> body) {
+    if (cfg.period <= 0) throw std::invalid_argument("task period must be positive");
+    if (cfg.deadline == 0) cfg.deadline = cfg.period;
+    if (cfg.deadline < 0 || cfg.deadline > cfg.period)
+        throw std::invalid_argument("task deadline must be in (0, period]");
+    auto task = std::make_unique<Task>();
+    task->cfg = std::move(cfg);
+    task->body = std::move(body);
+    task->in_latch.resize(task->cfg.input_signals.size());
+    tasks_.push_back(std::move(task));
+}
+
+void Node::publish_signal(int index, double value) {
+    set_local_signal(index, value);
+    target_->broadcast(id_, index, value);
+}
+
+void Node::map_signal_memory(int sig_index, std::uint32_t addr) {
+    signal_memory_[sig_index] = addr;
+}
+
+const TaskStats& Node::task_stats(std::string_view task_name) const {
+    for (const auto& t : tasks_)
+        if (t->cfg.name == task_name) return t->stats;
+    throw std::out_of_range("no task '" + std::string(task_name) + "' on node " +
+                            std::to_string(id_));
+}
+
+double Node::cpu_utilization(SimTime elapsed) const {
+    return elapsed <= 0 ? 0.0
+                        : static_cast<double>(busy_ns_) / static_cast<double>(elapsed);
+}
+
+void Node::start_tasks() {
+    local_signals_.resize(target_->signals_.size());
+    for (std::size_t i = 0; i < local_signals_.size(); ++i)
+        set_local_signal(static_cast<int>(i), target_->signals_.init(static_cast<int>(i)));
+    for (auto& task : tasks_) {
+        Task* t = task.get();
+        target_->sim_.every(t->cfg.offset == 0 ? t->cfg.period : t->cfg.offset,
+                            t->cfg.period, [this, t] { on_release(*t); });
+    }
+}
+
+void Node::on_release(Task& task) {
+    if (target_->paused_) {
+        bool matches = target_->single_step_ &&
+                       (target_->step_filter_.empty() ||
+                        target_->step_filter_ == task.cfg.name);
+        if (!matches) {
+            ++task.stats.suppressed;
+            return;
+        }
+        target_->single_step_ = false; // consume the single-step budget
+    }
+    if (task.job_pending) {
+        ++task.stats.overruns;
+        return;
+    }
+    ++task.stats.releases;
+    task.job_pending = true;
+    // Input latch: copy the signal replica at the release instant.
+    for (std::size_t i = 0; i < task.cfg.input_signals.size(); ++i)
+        task.in_latch[i] = local_signals_[static_cast<std::size_t>(task.cfg.input_signals[i])];
+    ready_.push_back({&task, target_->sim_.now(), job_seq_++});
+    if (!cpu_busy_) start_next_job();
+}
+
+void Node::start_next_job() {
+    if (ready_.empty()) {
+        cpu_busy_ = false;
+        return;
+    }
+    // Non-preemptive fixed priority: pick the most urgent ready job
+    // (lowest priority value), FIFO within a priority level.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready_.size(); ++i) {
+        if (ready_[i].task->cfg.priority < ready_[best].task->cfg.priority) best = i;
+    }
+    ReadyJob job = ready_[best];
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(best));
+    cpu_busy_ = true;
+
+    Task& task = *job.task;
+    // Each job owns its output buffer: a deferred deadline latch of job k
+    // must not be clobbered by job k+1 executing before it fires.
+    std::vector<double> job_out(task.cfg.output_signals.size(), 0.0);
+    TaskContext ctx;
+    ctx.in_ = task.in_latch;
+    ctx.out_ = job_out;
+    ctx.dt_ = static_cast<double>(task.cfg.period) / static_cast<double>(kSec);
+    ctx.release_ = job.release;
+    ctx.uart_cycles_per_byte_ = target_->uart_.cycles_per_byte;
+    ctx.uart_cycles_per_frame_ = target_->uart_.cycles_per_frame;
+
+    std::uint64_t app = task.body->execute(ctx);
+    app_cycles_ += app;
+    instr_cycles_ += ctx.instr_cycles_;
+
+    std::uint64_t total_cycles = app + ctx.instr_cycles_;
+    auto duration = static_cast<SimTime>(
+        std::ceil(static_cast<double>(total_cycles) / clock_hz_ * static_cast<double>(kSec)));
+    busy_ns_ += static_cast<std::uint64_t>(duration);
+
+    SimTime completion = target_->sim_.now() + duration;
+    // Completion applies memory pokes, emits debug bytes, and hands the
+    // outputs to the latch policy.
+    target_->sim_.at(completion, [this, &task, job, out = std::move(job_out),
+                                  pokes = std::move(ctx.pokes_),
+                                  bytes = std::move(ctx.debug_bytes_)]() mutable {
+        for (auto [addr, value] : pokes) memory_.write_u32(addr, value);
+        if (!bytes.empty()) {
+            // Serialized UART wire: 10 bits per byte (8N1 framing).
+            SimTime start = std::max(target_->sim_.now(), uart_busy_until_);
+            auto wire_ns = static_cast<SimTime>(
+                static_cast<double>(bytes.size()) * 10.0 / target_->uart_.baud *
+                static_cast<double>(kSec));
+            uart_busy_until_ = start + wire_ns;
+            target_->deliver_debug(id_, std::move(bytes), uart_busy_until_);
+        }
+        finish_job(task, job.release, std::move(out));
+        start_next_job();
+    });
+}
+
+void Node::finish_job(Task& task, SimTime release, std::vector<double> out) {
+    SimTime now = target_->sim_.now();
+    ++task.stats.completions;
+    task.stats.worst_response = std::max(task.stats.worst_response, now - release);
+    task.job_pending = false;
+
+    SimTime deadline_at = release + task.cfg.deadline;
+    if (target_->mode_ == OutputMode::Immediate) {
+        latch_outputs(task, release, out);
+        return;
+    }
+    if (now > deadline_at) {
+        ++task.stats.deadline_misses;
+        latch_outputs(task, release, out); // late latch, recorded as a miss
+        return;
+    }
+    // Timed multitasking: defer the output latch to the deadline instant.
+    target_->sim_.at(deadline_at, [this, &task, release, held = std::move(out)] {
+        latch_outputs(task, release, held);
+    });
+}
+
+void Node::latch_outputs(Task& task, SimTime release, const std::vector<double>& out) {
+    SimTime now = target_->sim_.now();
+    task.stats.output_offsets.push_back(now - release);
+    for (std::size_t i = 0; i < task.cfg.output_signals.size(); ++i)
+        publish_signal(task.cfg.output_signals[i], out[i]);
+}
+
+void Node::set_local_signal(int index, double value) {
+    local_signals_[static_cast<std::size_t>(index)] = value;
+    auto it = signal_memory_.find(index);
+    if (it != signal_memory_.end())
+        memory_.write_f32(it->second, static_cast<float>(value));
+}
+
+Node& Target::add_node(double clock_hz) {
+    if (started_) throw std::logic_error("cannot add nodes after start()");
+    nodes_.push_back(std::make_unique<Node>(*this, static_cast<int>(nodes_.size()), clock_hz));
+    return *nodes_.back();
+}
+
+void Target::start() {
+    if (started_) throw std::logic_error("Target::start() called twice");
+    started_ = true;
+    for (auto& n : nodes_) n->start_tasks();
+}
+
+std::uint64_t Target::total_instr_cycles() const {
+    std::uint64_t total = 0;
+    for (const auto& n : nodes_) total += n->instr_cycles();
+    return total;
+}
+
+void Target::broadcast(int from_node, int sig_index, double value) {
+    for (auto& n : nodes_) {
+        if (n->id() == from_node) continue;
+        Node* dest = n.get();
+        sim_.after(net_latency_, [dest, sig_index, value] {
+            dest->set_local_signal(sig_index, value);
+        });
+    }
+}
+
+void Target::deliver_debug(int node_id, std::vector<std::uint8_t> bytes, SimTime at) {
+    if (!debug_sink_) return;
+    sim_.at(at, [this, node_id, bytes = std::move(bytes), at] {
+        debug_sink_(node_id, bytes, at);
+    });
+}
+
+} // namespace gmdf::rt

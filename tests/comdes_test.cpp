@@ -1,0 +1,489 @@
+// Unit tests for the COMDES DSL: metamodel, builders, pin metadata,
+// function-block kernels, state-machine kernels, and domain validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comdes/build.hpp"
+#include "comdes/fblib.hpp"
+#include "comdes/metamodel.hpp"
+#include "comdes/validate.hpp"
+#include "meta/serialize.hpp"
+
+namespace gc = gmdf::comdes;
+namespace gm = gmdf::meta;
+
+namespace {
+
+std::string first_error(const gm::Diagnostics& ds) {
+    for (const auto& d : ds)
+        if (d.severity == gm::Severity::Error) return d.to_string();
+    return {};
+}
+
+TEST(ComdesMeta, ClassesPresent) {
+    const auto& c = gc::comdes_metamodel();
+    EXPECT_EQ(c.mm.name(), "comdes");
+    EXPECT_NE(c.system, nullptr);
+    EXPECT_TRUE(c.basic_fb->is_subtype_of(*c.function_block));
+    EXPECT_TRUE(c.sm_fb->is_subtype_of(*c.named));
+    EXPECT_TRUE(c.basic_kind->contains("pid_"));
+    EXPECT_TRUE(c.basic_kind->contains("expression_"));
+}
+
+TEST(Builder, SimpleSystemValidates) {
+    gc::SystemBuilder sys("demo");
+    auto temp = sys.add_signal("temp", "real_", 20.0);
+    auto heat = sys.add_signal("heat", "bool_");
+    auto actor = sys.add_actor("ctrl", 10'000);
+    auto cmp = actor.add_basic("too_cold", "lt_", {18.0});
+    actor.bind_input(temp, cmp, "in");
+    actor.bind_output(cmp, "out", heat);
+    auto ds = gc::validate_comdes(sys.model());
+    EXPECT_TRUE(gm::is_clean(ds)) << first_error(ds);
+}
+
+TEST(Builder, ComdesModelSerializes) {
+    gc::SystemBuilder sys("demo");
+    auto s = sys.add_signal("x");
+    auto actor = sys.add_actor("a", 1000);
+    auto g = actor.add_basic("gain", "gain_", {2.0});
+    actor.bind_input(s, g, "in");
+    std::string text = gm::write_model(sys.model());
+    gm::Model copy = gm::read_model(gc::comdes_metamodel().mm, text);
+    EXPECT_EQ(gm::write_model(copy), text);
+    EXPECT_TRUE(gm::is_clean(gc::validate_comdes(copy)));
+}
+
+TEST(Pins, BasicKinds) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto add = a.add_basic("sum", "add_");
+    auto pins = gc::pins_of(sys.model(), sys.model().at(add));
+    EXPECT_EQ(pins.inputs, (std::vector<std::string>{"in1", "in2"}));
+    EXPECT_EQ(pins.outputs, (std::vector<std::string>{"out"}));
+    EXPECT_EQ(pins.input_index("in2"), 1);
+    EXPECT_EQ(pins.input_index("zzz"), -1);
+}
+
+TEST(Pins, ExpressionDerivesInputsFromFreeVars) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto e = a.add_basic("fn", "expression_", {}, "b * 2 + a");
+    auto pins = gc::pins_of(sys.model(), sys.model().at(e));
+    EXPECT_EQ(pins.inputs, (std::vector<std::string>{"a", "b"})); // sorted
+    EXPECT_EQ(pins.outputs, (std::vector<std::string>{"out"}));
+}
+
+TEST(Pins, StateMachineAppendsStatePin) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto sm = a.add_sm("fsm", {"go"}, {"speed"});
+    auto s0 = sm.add_state("idle");
+    sm.add_transition(s0, s0, "go");
+    auto pins = gc::pins_of(sys.model(), sys.model().at(sm.sm_id()));
+    EXPECT_EQ(pins.inputs, (std::vector<std::string>{"go"}));
+    EXPECT_EQ(pins.outputs, (std::vector<std::string>{"speed", "state"}));
+}
+
+// --- Basic kernel semantics, swept over kinds -------------------------------
+
+struct KernelCase {
+    const char* kind;
+    std::vector<double> params;
+    std::vector<double> inputs;
+    double expected;
+};
+
+class KernelSweep : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelSweep, SingleStep) {
+    const auto& c = GetParam();
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    std::initializer_list<double> no_params{};
+    auto fb_id = a.add_basic("fb", c.kind, no_params);
+    auto& fb = sys.model().at(fb_id);
+    if (!c.params.empty()) {
+        gm::Value::List l;
+        for (double p : c.params) l.emplace_back(p);
+        fb.set_attr("params", gm::Value(std::move(l)));
+    }
+    auto kernel = gc::make_basic_kernel(fb);
+    double out = -999.0;
+    kernel->step(c.inputs, std::span<double>(&out, 1), 0.001);
+    EXPECT_NEAR(out, c.expected, 1e-12) << c.kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, KernelSweep,
+    ::testing::Values(
+        KernelCase{"const_", {5.0}, {}, 5.0}, KernelCase{"gain_", {3.0}, {2.0}, 6.0},
+        KernelCase{"offset_", {1.5}, {2.0}, 3.5}, KernelCase{"add_", {}, {2, 3}, 5.0},
+        KernelCase{"sub_", {}, {2, 3}, -1.0}, KernelCase{"mul_", {}, {2, 3}, 6.0},
+        KernelCase{"div_", {}, {6, 3}, 2.0}, KernelCase{"div_", {}, {6, 0}, 0.0},
+        KernelCase{"min_", {}, {2, 3}, 2.0}, KernelCase{"max_", {}, {2, 3}, 3.0},
+        KernelCase{"abs_", {}, {-4}, 4.0}, KernelCase{"not_", {}, {0}, 1.0},
+        KernelCase{"and_", {}, {1, 1}, 1.0}, KernelCase{"and_", {}, {1, 0}, 0.0},
+        KernelCase{"or_", {}, {0, 1}, 1.0}, KernelCase{"xor_", {}, {1, 1}, 0.0},
+        KernelCase{"gt_", {2.0}, {3}, 1.0}, KernelCase{"gt_", {2.0}, {2}, 0.0},
+        KernelCase{"ge_", {2.0}, {2}, 1.0}, KernelCase{"lt_", {2.0}, {1}, 1.0},
+        KernelCase{"le_", {2.0}, {3}, 0.0}, KernelCase{"limit_", {-1, 1}, {5}, 1.0},
+        KernelCase{"limit_", {-1, 1}, {-5}, -1.0},
+        KernelCase{"deadband_", {0.5}, {0.3}, 0.0},
+        KernelCase{"deadband_", {0.5}, {0.8}, 0.8}));
+
+TEST(Kernel, IntegratorAccumulates) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto id = a.add_basic("i", "integrator_", {2.0, 10.0}); // k=2, y0=10
+    auto k = gc::make_basic_kernel(sys.model().at(id));
+    double in = 1.0, out = 0.0;
+    for (int i = 0; i < 100; ++i) k->step({&in, 1}, {&out, 1}, 0.01);
+    EXPECT_NEAR(out, 10.0 + 2.0 * 1.0 * 1.0, 1e-9); // y0 + k * integral(1) over 1s
+    k->reset();
+    k->step({&in, 1}, {&out, 1}, 0.01);
+    EXPECT_NEAR(out, 10.0 + 2.0 * 0.01, 1e-9);
+}
+
+TEST(Kernel, DelayShiftsSamples) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto id = a.add_basic("d", "delay_", {3.0});
+    auto k = gc::make_basic_kernel(sys.model().at(id));
+    double out = 0.0;
+    for (int i = 1; i <= 6; ++i) {
+        double in = i;
+        k->step({&in, 1}, {&out, 1}, 0.01);
+        if (i <= 3) EXPECT_EQ(out, 0.0);
+        else EXPECT_EQ(out, i - 3);
+    }
+}
+
+TEST(Kernel, HysteresisLatches) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto id = a.add_basic("h", "hysteresis_", {1.0, 2.0});
+    auto k = gc::make_basic_kernel(sys.model().at(id));
+    auto run = [&](double in) {
+        double out = 0.0;
+        k->step({&in, 1}, {&out, 1}, 0.01);
+        return out;
+    };
+    EXPECT_EQ(run(1.5), 0.0); // between thresholds: stays low
+    EXPECT_EQ(run(2.5), 1.0); // above hi: high
+    EXPECT_EQ(run(1.5), 1.0); // between: holds
+    EXPECT_EQ(run(0.5), 0.0); // below lo: low
+}
+
+TEST(Kernel, CounterCountsRisingEdges) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto id = a.add_basic("c", "counter_", {100.0});
+    auto k = gc::make_basic_kernel(sys.model().at(id));
+    auto run = [&](double inc, double reset) {
+        double in[2] = {inc, reset}, out = 0.0;
+        k->step({in, 2}, {&out, 1}, 0.01);
+        return out;
+    };
+    EXPECT_EQ(run(1, 0), 1.0);
+    EXPECT_EQ(run(1, 0), 1.0); // still high: no new edge
+    EXPECT_EQ(run(0, 0), 1.0);
+    EXPECT_EQ(run(1, 0), 2.0);
+    EXPECT_EQ(run(0, 1), 0.0); // reset wins
+}
+
+TEST(Kernel, LowPassConverges) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto id = a.add_basic("f", "lowpass_", {0.1});
+    auto k = gc::make_basic_kernel(sys.model().at(id));
+    double in = 1.0, out = 0.0;
+    k->step({&in, 1}, {&out, 1}, 0.01);
+    EXPECT_NEAR(out, 1.0, 1e-9); // first sample initializes the state
+    in = 0.0;
+    for (int i = 0; i < 2000; ++i) k->step({&in, 1}, {&out, 1}, 0.01);
+    EXPECT_NEAR(out, 0.0, 1e-6);
+}
+
+TEST(Kernel, RateLimitBoundsSlew) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto id = a.add_basic("r", "ratelimit_", {10.0}); // 10 units/s
+    auto k = gc::make_basic_kernel(sys.model().at(id));
+    double out = 0.0, in = 0.0;
+    k->step({&in, 1}, {&out, 1}, 0.1);
+    in = 100.0;
+    k->step({&in, 1}, {&out, 1}, 0.1);
+    EXPECT_NEAR(out, 1.0, 1e-12); // at most 10 * 0.1 per step
+}
+
+TEST(Kernel, PidDrivesPlantToSetpoint) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto id = a.add_basic("pid", "pid_", {2.0, 1.0, 0.0, -10.0, 10.0});
+    auto k = gc::make_basic_kernel(sys.model().at(id));
+    // First-order plant: y' = (u - y) / tau.
+    double y = 0.0;
+    const double dt = 0.01, tau = 0.5, sp = 1.0;
+    for (int i = 0; i < 5000; ++i) {
+        double in[2] = {sp, y}, u = 0.0;
+        k->step({in, 2}, {&u, 1}, dt);
+        y += (u - y) / tau * dt;
+    }
+    EXPECT_NEAR(y, sp, 1e-3);
+}
+
+TEST(Kernel, ExpressionEvaluates) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto id = a.add_basic("e", "expression_", {}, "max(a, b) + 0.5");
+    auto k = gc::make_basic_kernel(sys.model().at(id));
+    double in[2] = {1.0, 3.0}, out = 0.0; // a=1, b=3 (sorted order)
+    k->step({in, 2}, {&out, 1}, 0.01);
+    EXPECT_DOUBLE_EQ(out, 3.5);
+}
+
+TEST(Kernel, BadParamCountThrows) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto id = a.add_basic("g", "gain_"); // gain_ needs 1 param
+    EXPECT_THROW((void)gc::make_basic_kernel(sys.model().at(id)), std::invalid_argument);
+}
+
+// --- State machine kernel ----------------------------------------------------
+
+struct SmEvents : gc::SmObserver {
+    std::vector<gm::ObjectId> entered;
+    std::vector<gm::ObjectId> fired;
+    void on_state_enter(gm::ObjectId, gm::ObjectId s) override { entered.push_back(s); }
+    void on_transition(gm::ObjectId, gm::ObjectId t) override { fired.push_back(t); }
+};
+
+struct SmFixture {
+    gc::SystemBuilder sys{"s"};
+    gm::ObjectId sm_id;
+    gm::ObjectId idle, run;
+    gm::ObjectId t_start, t_stop;
+
+    SmFixture() {
+        auto a = sys.add_actor("a", 1000);
+        auto smb = a.add_sm("fsm", {"start", "stop", "level"}, {"speed"});
+        idle = smb.add_state("idle", {{"speed", "0"}});
+        run = smb.add_state("running", {{"speed", "level * 2"}});
+        t_start = smb.add_transition(idle, run, "start", "level > 0");
+        t_stop = smb.add_transition(run, idle, "stop");
+        sm_id = smb.sm_id();
+    }
+};
+
+TEST(SmKernel, InitialEntryOnFirstScan) {
+    SmFixture f;
+    SmEvents ev;
+    auto k = gc::make_sm_kernel(f.sys.model(), f.sys.model().at(f.sm_id), &ev);
+    double in[3] = {0, 0, 0}, out[2] = {-1, -1};
+    k->step({in, 3}, {out, 2}, 0.001);
+    ASSERT_EQ(ev.entered.size(), 1u);
+    EXPECT_EQ(ev.entered[0], f.idle);
+    EXPECT_EQ(out[0], 0.0); // entry action speed=0
+    EXPECT_EQ(out[1], 0.0); // state index of idle
+}
+
+TEST(SmKernel, GuardBlocksTransition) {
+    SmFixture f;
+    SmEvents ev;
+    auto k = gc::make_sm_kernel(f.sys.model(), f.sys.model().at(f.sm_id), &ev);
+    double out[2];
+    double blocked[3] = {1, 0, 0}; // start=1 but level=0: guard fails
+    k->step({blocked, 3}, {out, 2}, 0.001);
+    EXPECT_EQ(out[1], 0.0);
+    double enabled[3] = {1, 0, 4}; // level=4: guard passes
+    k->step({enabled, 3}, {out, 2}, 0.001);
+    EXPECT_EQ(out[1], 1.0);
+    EXPECT_EQ(out[0], 8.0); // entry action speed = level * 2
+    ASSERT_EQ(ev.fired.size(), 1u);
+    EXPECT_EQ(ev.fired[0], f.t_start);
+}
+
+TEST(SmKernel, OneTransitionPerScan) {
+    SmFixture f;
+    auto k = gc::make_sm_kernel(f.sys.model(), f.sys.model().at(f.sm_id), nullptr);
+    double out[2];
+    // start and stop both asserted: only idle->running fires this scan.
+    double both[3] = {1, 1, 5};
+    k->step({both, 3}, {out, 2}, 0.001);
+    EXPECT_EQ(out[1], 1.0);
+    k->step({both, 3}, {out, 2}, 0.001); // next scan: running->idle
+    EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(SmKernel, OutputsHoldBetweenAssignments) {
+    SmFixture f;
+    auto k = gc::make_sm_kernel(f.sys.model(), f.sys.model().at(f.sm_id), nullptr);
+    double out[2];
+    double go[3] = {1, 0, 3};
+    k->step({go, 3}, {out, 2}, 0.001);
+    EXPECT_EQ(out[0], 6.0);
+    double quiet[3] = {0, 0, 99}; // no transition: speed holds despite level change
+    k->step({quiet, 3}, {out, 2}, 0.001);
+    EXPECT_EQ(out[0], 6.0);
+}
+
+TEST(SmKernel, PriorityOrdersTransitions) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto smb = a.add_sm("fsm", {"go"}, {"path"});
+    auto s0 = smb.add_state("s0");
+    auto hi = smb.add_state("hi", {{"path", "1"}});
+    auto lo = smb.add_state("lo", {{"path", "2"}});
+    smb.add_transition(s0, lo, "go", "", {}, 5);
+    smb.add_transition(s0, hi, "go", "", {}, 1); // lower number wins
+    auto k = gc::make_sm_kernel(sys.model(), sys.model().at(smb.sm_id()), nullptr);
+    double in = 1.0, out[2];
+    k->step({&in, 1}, {out, 2}, 0.001);
+    EXPECT_EQ(out[0], 1.0);
+    (void)lo;
+}
+
+TEST(SmKernel, ResetRestoresInitialState) {
+    SmFixture f;
+    auto k = gc::make_sm_kernel(f.sys.model(), f.sys.model().at(f.sm_id), nullptr);
+    double out[2];
+    double go[3] = {1, 0, 1};
+    k->step({go, 3}, {out, 2}, 0.001);
+    EXPECT_EQ(out[1], 1.0);
+    k->reset();
+    double quiet[3] = {0, 0, 0};
+    k->step({quiet, 3}, {out, 2}, 0.001);
+    EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(SmKernel, UnknownEventPinThrows) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto smb = a.add_sm("fsm", {"go"}, {});
+    auto s0 = smb.add_state("s0");
+    smb.add_transition(s0, s0, "bogus");
+    EXPECT_THROW((void)gc::make_sm_kernel(sys.model(), sys.model().at(smb.sm_id()), nullptr),
+                 std::invalid_argument);
+}
+
+// --- Domain validation --------------------------------------------------------
+
+TEST(Validate, DuplicateBlockNames) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    a.add_basic("x", "abs_");
+    a.add_basic("x", "abs_");
+    EXPECT_FALSE(gm::is_clean(gc::validate_comdes(sys.model())));
+}
+
+TEST(Validate, UnknownPinInConnection) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto f1 = a.add_basic("f1", "abs_");
+    auto f2 = a.add_basic("f2", "abs_");
+    a.connect(f1, "nope", f2, "in");
+    auto ds = gc::validate_comdes(sys.model());
+    EXPECT_NE(first_error(ds).find("no output"), std::string::npos);
+}
+
+TEST(Validate, DoubleDrivenInput) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto f1 = a.add_basic("f1", "abs_");
+    auto f2 = a.add_basic("f2", "abs_");
+    auto f3 = a.add_basic("f3", "abs_");
+    a.connect(f1, "out", f3, "in");
+    a.connect(f2, "out", f3, "in");
+    auto ds = gc::validate_comdes(sys.model());
+    EXPECT_NE(first_error(ds).find("more than one"), std::string::npos);
+}
+
+TEST(Validate, CombinationalCycleDetected) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto f1 = a.add_basic("f1", "gain_", {1.0});
+    auto f2 = a.add_basic("f2", "gain_", {1.0});
+    a.connect(f1, "out", f2, "in");
+    a.connect(f2, "out", f1, "in");
+    auto ds = gc::validate_comdes(sys.model());
+    EXPECT_NE(first_error(ds).find("cycle"), std::string::npos);
+}
+
+TEST(Validate, DelayBreaksCycle) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto f1 = a.add_basic("f1", "gain_", {1.0});
+    auto d = a.add_basic("d", "delay_", {1.0});
+    a.connect(f1, "out", d, "in");
+    a.connect(d, "out", f1, "in");
+    auto ds = gc::validate_comdes(sys.model());
+    EXPECT_TRUE(gm::is_clean(ds)) << first_error(ds);
+}
+
+TEST(Validate, DeadlineBeyondPeriod) {
+    gc::SystemBuilder sys("s");
+    sys.add_actor("a", 1000, 2000);
+    EXPECT_FALSE(gm::is_clean(gc::validate_comdes(sys.model())));
+}
+
+TEST(Validate, BadGuardExpressionReported) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto smb = a.add_sm("fsm", {"go"}, {});
+    auto s0 = smb.add_state("s0");
+    smb.add_transition(s0, s0, "go", "1 +");
+    auto ds = gc::validate_comdes(sys.model());
+    EXPECT_NE(first_error(ds).find("parse"), std::string::npos);
+}
+
+TEST(Validate, UnreachableStateWarned) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto smb = a.add_sm("fsm", {"go"}, {});
+    auto s0 = smb.add_state("s0");
+    smb.add_state("orphan");
+    smb.add_transition(s0, s0, "go");
+    auto ds = gc::validate_comdes(sys.model());
+    EXPECT_TRUE(gm::is_clean(ds)); // warning, not error
+    bool warned = false;
+    for (const auto& d : ds)
+        if (d.severity == gm::Severity::Warning &&
+            d.to_string().find("unreachable") != std::string::npos)
+            warned = true;
+    EXPECT_TRUE(warned);
+}
+
+TEST(Validate, BindingToUnknownBlock) {
+    gc::SystemBuilder sys("s");
+    auto sig = sys.add_signal("x");
+    auto a = sys.add_actor("a", 1000);
+    auto fb = a.add_basic("f", "abs_");
+    a.bind_input(sig, fb, "in");
+    // Corrupt the binding to name a non-existent block.
+    for (auto* b : sys.model().all_of(*gc::comdes_metamodel().actor_input))
+        b->set_attr("fb", gm::Value("ghost"));
+    EXPECT_FALSE(gm::is_clean(gc::validate_comdes(sys.model())));
+}
+
+TEST(Validate, AssignmentToUndeclaredOutput) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto smb = a.add_sm("fsm", {"go"}, {"y"});
+    auto s0 = smb.add_state("s0", {{"z", "1"}}); // z not declared
+    smb.add_transition(s0, s0, "go");
+    auto ds = gc::validate_comdes(sys.model());
+    EXPECT_NE(first_error(ds).find("not a declared output"), std::string::npos);
+}
+
+TEST(Validate, ImplicitStatePinNotAssignable) {
+    gc::SystemBuilder sys("s");
+    auto a = sys.add_actor("a", 1000);
+    auto smb = a.add_sm("fsm", {"go"}, {"y"});
+    auto s0 = smb.add_state("s0", {{"state", "7"}});
+    smb.add_transition(s0, s0, "go");
+    EXPECT_FALSE(gm::is_clean(gc::validate_comdes(sys.model())));
+}
+
+} // namespace

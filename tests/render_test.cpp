@@ -1,0 +1,168 @@
+// Unit tests for the rendering layer: scene, layout, SVG/ASCII renderers,
+// timing diagrams and VCD export.
+#include <gtest/gtest.h>
+
+#include "render/ascii.hpp"
+#include "render/layout.hpp"
+#include "render/scene.hpp"
+#include "render/svg.hpp"
+#include "render/timing.hpp"
+#include "render/vcd.hpp"
+
+namespace rr = gmdf::render;
+
+namespace {
+
+rr::Scene chain_scene(int n) {
+    rr::Scene s;
+    for (int i = 0; i < n; ++i) {
+        rr::SceneNode node;
+        node.id = static_cast<std::uint64_t>(i + 1);
+        node.label = "n" + std::to_string(i);
+        s.add_node(node);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+        rr::SceneEdge e;
+        e.id = 100u + static_cast<std::uint64_t>(i);
+        e.from = static_cast<std::uint64_t>(i + 1);
+        e.to = static_cast<std::uint64_t>(i + 2);
+        s.add_edge(e);
+    }
+    return s;
+}
+
+TEST(Scene, AddAndFind) {
+    rr::Scene s = chain_scene(3);
+    EXPECT_NE(s.find_node(1), nullptr);
+    EXPECT_EQ(s.find_node(99), nullptr);
+    EXPECT_NE(s.find_edge(100), nullptr);
+    EXPECT_EQ(s.find_edge(1), nullptr);
+}
+
+TEST(Scene, DecayDropsWeakHighlights) {
+    rr::Scene s = chain_scene(1);
+    s.nodes()[0].style.highlighted = true;
+    s.nodes()[0].style.intensity = 0.5;
+    s.decay_highlights(0.5);
+    EXPECT_TRUE(s.nodes()[0].style.highlighted);
+    s.decay_highlights(0.1);
+    EXPECT_FALSE(s.nodes()[0].style.highlighted);
+    EXPECT_EQ(s.nodes()[0].style.intensity, 0.0);
+}
+
+TEST(Layout, ChainBecomesLayers) {
+    rr::Scene s = chain_scene(4);
+    rr::auto_layout(s);
+    // Strictly increasing x along the chain.
+    for (std::size_t i = 0; i + 1 < s.nodes().size(); ++i)
+        EXPECT_LT(s.nodes()[i].rect.x, s.nodes()[i + 1].rect.x);
+}
+
+TEST(Layout, CycleDoesNotHang) {
+    rr::Scene s = chain_scene(3);
+    rr::SceneEdge back;
+    back.id = 999;
+    back.from = 3;
+    back.to = 1;
+    s.add_edge(back);
+    rr::auto_layout(s); // must terminate
+    EXPECT_GT(s.bounds().w, 0);
+}
+
+TEST(Layout, ParallelNodesStack) {
+    rr::Scene s;
+    for (int i = 0; i < 3; ++i) {
+        rr::SceneNode n;
+        n.id = static_cast<std::uint64_t>(i + 1);
+        s.add_node(n);
+    }
+    rr::auto_layout(s);
+    // Same layer: same x, distinct y.
+    EXPECT_EQ(s.nodes()[0].rect.x, s.nodes()[1].rect.x);
+    EXPECT_NE(s.nodes()[0].rect.y, s.nodes()[1].rect.y);
+}
+
+TEST(Svg, ContainsShapesAndHighlight) {
+    rr::Scene s = chain_scene(2);
+    s.nodes()[0].shape = rr::Shape::Circle;
+    s.nodes()[0].style.highlighted = true;
+    s.nodes()[0].style.intensity = 1.0;
+    rr::auto_layout(s);
+    std::string svg = rr::render_svg(s);
+    EXPECT_NE(svg.find("<svg"), std::string::npos);
+    EXPECT_NE(svg.find("<ellipse"), std::string::npos);
+    EXPECT_NE(svg.find("#ff8800"), std::string::npos); // highlight fill
+    EXPECT_NE(svg.find("marker-end"), std::string::npos);
+    EXPECT_NE(svg.find("n0"), std::string::npos);
+}
+
+TEST(Svg, EscapesLabels) {
+    rr::Scene s;
+    rr::SceneNode n;
+    n.id = 1;
+    n.label = "a<b&c>";
+    s.add_node(n);
+    rr::auto_layout(s);
+    std::string svg = rr::render_svg(s);
+    EXPECT_EQ(svg.find("a<b"), std::string::npos);
+    EXPECT_NE(svg.find("a&lt;b&amp;c&gt;"), std::string::npos);
+}
+
+TEST(Ascii, DrawsBoxesAndHighlights) {
+    rr::Scene s = chain_scene(2);
+    s.nodes()[1].style.highlighted = true;
+    rr::auto_layout(s);
+    std::string art = rr::render_ascii(s);
+    EXPECT_NE(art.find("n0"), std::string::npos);
+    EXPECT_NE(art.find("n1"), std::string::npos);
+    EXPECT_NE(art.find('#'), std::string::npos); // highlighted border
+    EXPECT_NE(art.find('+'), std::string::npos); // plain border
+}
+
+TEST(Ascii, EmptyScene) {
+    rr::Scene s;
+    EXPECT_EQ(rr::render_ascii(s), "(empty scene)\n");
+}
+
+TEST(Timing, RendersLanesAndChangePoints) {
+    rr::TimingDiagram d;
+    auto lane = d.add_lane("machine");
+    d.change(lane, 0, "idle");
+    d.change(lane, 500, "run");
+    d.change(lane, 900, "idle");
+    std::string art = d.render_ascii(40, 0, 1000);
+    EXPECT_NE(art.find("machine"), std::string::npos);
+    EXPECT_NE(art.find('|'), std::string::npos); // change marker
+    EXPECT_NE(art.find('r'), std::string::npos); // "run" bucket
+}
+
+TEST(Timing, RejectsTimeTravel) {
+    rr::TimingDiagram d;
+    auto lane = d.add_lane("x");
+    d.change(lane, 100, "a");
+    EXPECT_THROW(d.change(lane, 50, "b"), std::invalid_argument);
+}
+
+TEST(Vcd, WellFormedDocument) {
+    rr::VcdWriter vcd;
+    auto s = vcd.add_int("sm_state");
+    auto v = vcd.add_real("speed");
+    vcd.change_int(s, 0, 1);
+    vcd.change_real(v, 0, 2.5);
+    vcd.change_int(s, 1000, 2);
+    std::string doc = vcd.str();
+    EXPECT_NE(doc.find("$timescale 1ns $end"), std::string::npos);
+    EXPECT_NE(doc.find("$var wire 32"), std::string::npos);
+    EXPECT_NE(doc.find("$var real 64"), std::string::npos);
+    EXPECT_NE(doc.find("#0"), std::string::npos);
+    EXPECT_NE(doc.find("#1000"), std::string::npos);
+    EXPECT_NE(doc.find("r2.5"), std::string::npos);
+}
+
+TEST(Vcd, TypeMismatchThrows) {
+    rr::VcdWriter vcd;
+    auto s = vcd.add_int("x");
+    EXPECT_THROW(vcd.change_real(s, 0, 1.0), std::invalid_argument);
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 #include "codegen/loader.hpp"
 #include "comdes/build.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 
 using namespace gmdf;
 
@@ -54,9 +55,11 @@ Result run(const char* mode, int toggle_every, rt::SimTime duration) {
     auto loaded = codegen::load_system(target, sys.model(), opts);
     (void)loaded;
     core::DebugSession session(sys.model());
-    if (std::string(mode) == "active") session.attach_active(target);
+    if (std::string(mode) == "active")
+        session.attach(core::make_active_uart_transport(target));
     if (std::string(mode) == "passive")
-        session.attach_passive(target, loaded, /*poll_period=*/rt::kMs);
+        session.attach(core::make_passive_jtag_transport(target, loaded, sys.model(),
+                                                         /*poll_period=*/rt::kMs));
     target.start();
     target.run_for(duration);
 

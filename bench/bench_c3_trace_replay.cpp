@@ -10,6 +10,7 @@
 
 #include "comdes/build.hpp"
 #include "core/abstraction.hpp"
+#include "core/animator.hpp"
 #include "core/engine.hpp"
 #include "core/trace.hpp"
 
@@ -74,7 +75,9 @@ void BM_ReplayThroughput(benchmark::State& state) {
     auto trace = f.make_trace(static_cast<std::size_t>(state.range(0)));
     for (auto _ : state) {
         auto abs = core::abstract_model(f.sys.model(), core::comdes_default_mapping());
-        core::DebuggerEngine engine(f.sys.model(), abs.scene);
+        core::DebuggerEngine engine(f.sys.model());
+        core::SceneAnimator animator(f.sys.model(), abs.scene);
+        engine.add_observer(&animator);
         for (const auto& ev : trace.events()) engine.ingest(ev.cmd, ev.t);
         benchmark::DoNotOptimize(engine.stats().reactions);
     }

@@ -8,6 +8,7 @@
 #include "comdes/build.hpp"
 #include "comdes/validate.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 
 using namespace gmdf;
 
@@ -75,7 +76,7 @@ void BM_Stage_Execution(benchmark::State& state) {
         std::unique_ptr<core::DebugSession> session;
         if (debug) {
             session = std::make_unique<core::DebugSession>(sys.model());
-            session->attach_active(target);
+            session->attach(core::make_active_uart_transport(target));
         }
         target.start();
         state.ResumeTiming();

@@ -8,6 +8,8 @@
 #include "codegen/loader.hpp"
 #include "comdes/build.hpp"
 #include "core/session.hpp"
+#include "core/animator.hpp"
+#include "core/transports.hpp"
 #include "link/framing.hpp"
 
 using namespace gmdf;
@@ -58,7 +60,9 @@ BENCHMARK(BM_DecodeFrame);
 void BM_HostPath_IngestReaction(benchmark::State& state) {
     Demo d;
     auto abs = core::abstract_model(d.sys.model(), core::comdes_default_mapping());
-    core::DebuggerEngine engine(d.sys.model(), abs.scene);
+    core::DebuggerEngine engine(d.sys.model());
+    core::SceneAnimator animator(d.sys.model(), abs.scene);
+    engine.add_observer(&animator);
     link::Command enter0{link::Cmd::StateEnter, static_cast<std::uint32_t>(d.sm_id.raw),
                          static_cast<std::uint32_t>(d.s0.raw), 0.0f};
     link::Command enter1{link::Cmd::StateEnter, static_cast<std::uint32_t>(d.sm_id.raw),
@@ -93,7 +97,7 @@ void BM_EndToEnd_SimulatedSecond(benchmark::State& state) {
         (void)codegen::load_system(target, sys.model(),
                                    codegen::InstrumentOptions::active());
         core::DebugSession session(sys.model());
-        session.attach_active(target);
+        session.attach(core::make_active_uart_transport(target));
         target.start();
         state.ResumeTiming();
         target.run_for(rt::kSec);

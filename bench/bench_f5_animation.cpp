@@ -6,6 +6,7 @@
 
 #include "comdes/build.hpp"
 #include "core/abstraction.hpp"
+#include "core/animator.hpp"
 #include "core/gdm.hpp"
 #include "core/engine.hpp"
 #include "render/ascii.hpp"
@@ -37,7 +38,9 @@ struct Fixture {
 
 void BM_ReactionThroughput(benchmark::State& state) {
     Fixture f(static_cast<int>(state.range(0)));
-    core::DebuggerEngine engine(f.sys.model(), f.abs.scene);
+    core::DebuggerEngine engine(f.sys.model());
+    core::SceneAnimator animator(f.sys.model(), f.abs.scene);
+    engine.add_observer(&animator);
     rt::SimTime t = 0;
     std::size_t i = 0;
     for (auto _ : state) {

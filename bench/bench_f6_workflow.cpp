@@ -15,6 +15,7 @@
 #include "comdes/build.hpp"
 #include "comdes/validate.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 #include "meta/serialize.hpp"
 
 using namespace gmdf;
@@ -83,7 +84,7 @@ int main() {
     t0 = clock::now();
     rt::Target target;
     auto loaded = codegen::load_system(target, model, codegen::InstrumentOptions::active());
-    session.attach_active(target);
+    session.attach(core::make_active_uart_transport(target));
     steps.emplace_back("5. communication channel to target established", ms_since(t0));
 
     // Step 6: runtime interaction — 1 simulated second with environment.
@@ -106,7 +107,7 @@ int main() {
 
     std::cout << "\ncommands: " << session.engine().stats().commands
               << ", reactions: " << session.engine().stats().reactions
-              << ", divergences: " << session.engine().divergences().size() << "\n\n";
+              << ", divergences: " << session.divergences().size() << "\n\n";
     std::cout << "=== final animation frame ===\n" << session.render_ascii() << "\n";
     std::cout << "=== timing diagram ===\n" << session.timing_diagram().render_ascii(64);
     std::cout << "\nGDM file size: " << gdm_file.size() << " bytes, model file size: "

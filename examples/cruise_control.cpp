@@ -12,6 +12,7 @@
 #include "comdes/metamodel.hpp"
 #include "comdes/validate.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 
 using namespace gmdf;
 
@@ -99,7 +100,7 @@ int main() {
                                        codegen::InstrumentOptions::active());
 
     core::DebugSession session(sys.model());
-    session.attach_active(target);
+    session.attach(core::make_active_uart_transport(target));
     // Break when the measured speed exceeds the setpoint by 10%.
     session.engine().add_breakpoint(
         {core::Breakpoint::Kind::SignalPredicate, {}, "speed > 27.5", true, true});
@@ -120,7 +121,7 @@ int main() {
     target.run_for(10 * rt::kSec);
 
     std::cout << "mode changes observed: "
-              << session.engine().trace().filter(link::Cmd::ModeChange).size() << "\n";
+              << session.trace().filter(link::Cmd::ModeChange).size() << "\n";
     std::cout << "final speed: " << vehicle_speed << " (setpoint 25)\n";
     std::cout << "breakpoint hits (overshoot): " << session.engine().stats().breakpoints_hit
               << "\n";
@@ -137,6 +138,6 @@ int main() {
     std::ofstream vcd_file("cruise_trace.vcd");
     vcd_file << session.vcd();
     std::cout << "trace exported to cruise_trace.vcd ("
-              << session.engine().trace().size() << " events)\n";
+              << session.trace().size() << " events)\n";
     return 0;
 }

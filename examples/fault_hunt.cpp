@@ -13,6 +13,7 @@
 #include "comdes/build.hpp"
 #include "comdes/validate.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 
 using namespace gmdf;
 
@@ -58,7 +59,7 @@ int main() {
         auto loaded =
             codegen::load_system(target, mutated, codegen::InstrumentOptions::active());
         core::DebugSession session(app.sys.model()); // debugger holds the DESIGN
-        session.attach_active(target);
+        session.attach(core::make_active_uart_transport(target));
         target.start();
 
         // Exercise the elevator: call, arrive, release.
@@ -75,7 +76,7 @@ int main() {
 
         std::cout << codegen::to_string(kind) << ":\n";
         std::cout << "  injected: " << report->description << "\n";
-        const auto& divs = session.engine().divergences();
+        const auto& divs = session.divergences();
         if (divs.empty()) {
             std::cout << "  debugger: no structural divergence (fault changes values, "
                          "visible in trace/timing diagram)\n";

@@ -14,6 +14,7 @@
 #include "comdes/build.hpp"
 #include "comdes/validate.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 
 using namespace gmdf;
 
@@ -58,9 +59,10 @@ RunResult run(bool passive, rt::SimTime duration) {
     auto loaded = codegen::load_system(target, app.sys.model(), opts);
     core::DebugSession session(app.sys.model());
     if (passive)
-        session.attach_passive(target, loaded, /*poll_period=*/2 * rt::kMs);
+        session.attach(core::make_passive_jtag_transport(target, loaded, app.sys.model(),
+                                                         /*poll_period=*/2 * rt::kMs));
     else
-        session.attach_active(target);
+        session.attach(core::make_active_uart_transport(target));
 
     // Environment: tank level oscillates, forcing pump transitions.
     double t_sec = 0.0;

@@ -10,7 +10,7 @@
 #include "codegen/loader.hpp"
 #include "comdes/build.hpp"
 #include "comdes/validate.hpp"
-#include "core/session.hpp"
+#include "core/builder.hpp"
 
 using namespace gmdf;
 
@@ -41,32 +41,36 @@ int main() {
     auto loaded = codegen::load_system(target, sys.model(),
                                        codegen::InstrumentOptions::active());
 
-    // 4. The debug session abstracts the model into a GDM automatically.
-    core::DebugSession session(sys.model());
-    std::cout << "GDM generated: " << session.abstraction().mapped_nodes << " nodes, "
-              << session.abstraction().mapped_edges << " edges\n\n";
-    session.attach_active(target);
+    // 4. The debug session abstracts the model into a GDM automatically;
+    //    SessionBuilder assembles model -> mapping -> bindings -> transport.
+    auto session = core::SessionBuilder(sys.model())
+                       .bindings(core::CommandBindingTable::defaults())
+                       .active_uart(target)
+                       .build();
+    std::cout << "GDM generated: " << session->abstraction().mapped_nodes << " nodes, "
+              << session->abstraction().mapped_edges << " edges\n";
+    std::cout << "transport: " << session->transports().front()->name() << "\n\n";
 
     // 5. Run for one second of simulated time and animate.
     target.start();
     target.run_for(1050 * rt::kMs);
 
     std::cout << "=== final animation frame (state '"
-              << (session.engine().current_state(sm.sm_id())
-                      ? sys.model().at(*session.engine().current_state(sm.sm_id())).name()
+              << (session->engine().current_state(sm.sm_id())
+                      ? sys.model().at(*session->engine().current_state(sm.sm_id())).name()
                       : "?")
               << "' highlighted) ===\n";
-    std::cout << session.render_ascii() << "\n";
+    std::cout << session->render_ascii() << "\n";
 
     // 6. Trace products: timing diagram + replay.
     std::cout << "=== timing diagram ===\n";
-    std::cout << session.timing_diagram().render_ascii(64) << "\n";
+    std::cout << session->timing_diagram().render_ascii(64) << "\n";
 
-    auto frames = session.replay_frames(/*stride=*/8);
+    auto frames = session->replay_frames(/*stride=*/8);
     std::cout << "replay produced " << frames.size() << " frames, deterministic re-animation\n";
-    std::cout << "commands observed: " << session.engine().stats().commands
-              << ", reactions: " << session.engine().stats().reactions
-              << ", divergences: " << session.engine().divergences().size() << "\n";
+    std::cout << "commands observed: " << session->engine().stats().commands
+              << ", reactions: " << session->engine().stats().reactions
+              << ", divergences: " << session->divergences().size() << "\n";
     (void)led;
     (void)loaded;
     return 0;

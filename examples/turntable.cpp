@@ -13,6 +13,7 @@
 #include "comdes/build.hpp"
 #include "comdes/validate.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 
 using namespace gmdf;
 
@@ -58,7 +59,7 @@ int main() {
                                        codegen::InstrumentOptions::active());
 
     core::DebugSession session(sys.model());
-    session.attach_active(target);
+    session.attach(core::make_active_uart_transport(target));
     session.set_step_actor("controller"); // step = one controller activation
 
     // Model-level breakpoint: pause everything when drilling starts.
@@ -97,7 +98,7 @@ int main() {
     std::cout << session.timing_diagram().render_ascii(64) << "\n";
     std::cout << "motor command at node 1: "
               << target.node(1).signal(loaded.signal_index.at(motor.raw)) << "\n";
-    std::cout << "divergences: " << session.engine().divergences().size()
+    std::cout << "divergences: " << session.divergences().size()
               << " (clean run)\n";
     (void)t_done;
     return 0;

@@ -1,0 +1,73 @@
+#include "core/builder.hpp"
+
+#include <stdexcept>
+
+#include "core/transports.hpp"
+
+namespace gmdf::core {
+
+SessionBuilder& SessionBuilder::mapping(MappingTable m) {
+    mapping_ = std::move(m);
+    return *this;
+}
+
+SessionBuilder& SessionBuilder::bindings(CommandBindingTable b) {
+    bindings_ = std::move(b);
+    return *this;
+}
+
+SessionBuilder& SessionBuilder::highlight_half_life(rt::SimTime ns) {
+    half_life_ = ns;
+    return *this;
+}
+
+SessionBuilder& SessionBuilder::step_actor(std::string actor_name) {
+    step_actor_ = std::move(actor_name);
+    return *this;
+}
+
+SessionBuilder& SessionBuilder::breakpoint(Breakpoint bp) {
+    breakpoints_.push_back(std::move(bp));
+    return *this;
+}
+
+SessionBuilder& SessionBuilder::transport(std::unique_ptr<link::Transport> t) {
+    transports_.push_back(std::move(t));
+    return *this;
+}
+
+SessionBuilder& SessionBuilder::active_uart(rt::Target& target) {
+    return transport(make_active_uart_transport(target));
+}
+
+SessionBuilder& SessionBuilder::passive_jtag(rt::Target& target,
+                                             const codegen::LoadedSystem& loaded,
+                                             rt::SimTime poll_period, double tck_hz) {
+    return transport(
+        make_passive_jtag_transport(target, loaded, *design_, poll_period, tck_hz));
+}
+
+SessionBuilder& SessionBuilder::observer(std::unique_ptr<EngineObserver> o) {
+    observers_.push_back(std::move(o));
+    return *this;
+}
+
+std::unique_ptr<DebugSession> SessionBuilder::build() {
+    if (built_) throw std::logic_error("SessionBuilder::build() called twice");
+    built_ = true;
+
+    auto session = mapping_.has_value()
+                       ? std::make_unique<DebugSession>(*design_, *mapping_)
+                       : std::make_unique<DebugSession>(*design_);
+    if (bindings_.has_value()) session->engine().set_bindings(std::move(*bindings_));
+    if (half_life_.has_value()) session->animator().set_highlight_half_life(*half_life_);
+    if (step_actor_.has_value()) session->set_step_actor(*step_actor_);
+    for (Breakpoint& bp : breakpoints_) session->engine().add_breakpoint(std::move(bp));
+    // Observers before transports: nothing a transport emits at open()
+    // (e.g. synthesized initial states) is missed.
+    for (auto& obs : observers_) session->add_observer(std::move(obs));
+    for (auto& t : transports_) session->attach(std::move(t));
+    return session;
+}
+
+} // namespace gmdf::core

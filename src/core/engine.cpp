@@ -1,9 +1,10 @@
 #include "core/engine.hpp"
 
-#include <cmath>
+#include <algorithm>
 
 #include "comdes/metamodel.hpp"
 #include "expr/eval.hpp"
+#include "expr/parser.hpp"
 
 namespace gmdf::core {
 
@@ -19,8 +20,7 @@ const char* to_string(EngineState s) {
     return "?";
 }
 
-DebuggerEngine::DebuggerEngine(const meta::Model& design, render::Scene& scene)
-    : design_(&design), scene_(&scene) {
+DebuggerEngine::DebuggerEngine(const meta::Model& design) : design_(&design) {
     // Pre-index signal names for predicate breakpoints.
     const auto& c = comdes::comdes_metamodel();
     if (&design.metamodel() == &c.mm) {
@@ -29,17 +29,31 @@ DebuggerEngine::DebuggerEngine(const meta::Model& design, render::Scene& scene)
     }
 }
 
+void DebuggerEngine::add_observer(EngineObserver* observer) {
+    if (observer == nullptr) return;
+    if (std::find(observers_.begin(), observers_.end(), observer) != observers_.end())
+        return;
+    observers_.push_back(observer);
+}
+
+bool DebuggerEngine::remove_observer(EngineObserver* observer) {
+    auto it = std::find(observers_.begin(), observers_.end(), observer);
+    if (it == observers_.end()) return false;
+    observers_.erase(it);
+    return true;
+}
+
+void DebuggerEngine::set_state(EngineState next) {
+    if (next == state_) return;
+    EngineState from = state_;
+    state_ = next;
+    for (EngineObserver* obs : observers_) obs->on_state_change(from, next);
+}
+
 void DebuggerEngine::ingest(const link::Command& cmd, rt::SimTime t) {
     ++stats_.commands;
-    trace_.record(cmd, t);
-    if (state_ == EngineState::Waiting) state_ = EngineState::Animating;
-
-    // Time-based highlight decay (the animation "cools off" between events).
-    if (half_life_ > 0 && last_event_t_ > 0 && t > last_event_t_) {
-        double halves = static_cast<double>(t - last_event_t_) /
-                        static_cast<double>(half_life_);
-        scene_->decay_highlights(std::pow(0.5, halves));
-    }
+    for (EngineObserver* obs : observers_) obs->on_command(cmd, t);
+    if (state_ == EngineState::Waiting) set_state(EngineState::Animating);
 
     // Track model-level state before reactions so breakpoints and
     // consistency checks see the up-to-date picture.
@@ -47,102 +61,51 @@ void DebuggerEngine::ingest(const link::Command& cmd, rt::SimTime t) {
         signal_values_[cmd.a] = static_cast<double>(cmd.value);
 
     check_consistency(cmd, t);
-    apply_reaction(cmd);
+
+    ReactionSpec spec = bindings_.lookup(cmd.kind);
+    if (spec.type != ReactionType::None) {
+        ++stats_.reactions;
+        for (EngineObserver* obs : observers_) obs->on_reaction(cmd, spec, t);
+    }
 
     if (cmd.kind == link::Cmd::StateEnter || cmd.kind == link::Cmd::ModeChange)
         current_state_[cmd.a] = cmd.b;
 
     if (pause_on_next_command_) {
         pause_on_next_command_ = false;
-        state_ = EngineState::Paused;
+        set_state(EngineState::Paused);
         if (control_.pause) control_.pause();
     } else {
         check_breakpoints(cmd, t);
     }
-    last_event_t_ = t;
 }
 
-void DebuggerEngine::apply_reaction(const link::Command& cmd) {
-    ReactionSpec spec = bindings_.lookup(cmd.kind);
-    switch (spec.type) {
-    case ReactionType::None: return;
-    case ReactionType::Highlight: {
-        std::uint64_t element = cmd.kind == link::Cmd::StateEnter ||
-                                        cmd.kind == link::Cmd::ModeChange
-                                    ? cmd.b
-                                    : cmd.a;
-        if (spec.exclusive) highlight_exclusive(element, cmd.a);
-        render::SceneNode* node = scene_->find_node(element);
-        if (node != nullptr) {
-            node->style.highlighted = true;
-            node->style.intensity = 1.0;
-            ++stats_.reactions;
-            ++stats_.frames;
-        }
-        break;
-    }
-    case ReactionType::Pulse: {
-        render::SceneEdge* edge = scene_->find_edge(cmd.b != 0 ? cmd.b : cmd.a);
-        if (edge != nullptr) {
-            edge->style.highlighted = true;
-            edge->style.intensity = 1.0;
-            ++stats_.reactions;
-            ++stats_.frames;
-        }
-        break;
-    }
-    case ReactionType::LabelUpdate: {
-        render::SceneNode* node = scene_->find_node(cmd.a);
-        if (node != nullptr) {
-            char buf[32];
-            std::snprintf(buf, sizeof buf, "%.4g", static_cast<double>(cmd.value));
-            node->sublabel = buf;
-            ++stats_.reactions;
-            ++stats_.frames;
-        }
-        break;
-    }
-    }
-}
-
-void DebuggerEngine::highlight_exclusive(std::uint64_t element, std::uint64_t owner) {
-    // Un-highlight sibling states: every node whose design-model container
-    // is `owner` (the machine/modal FB named in the command).
-    (void)element;
-    const MObject* owner_obj = design_->get(ObjectId{owner});
-    if (owner_obj == nullptr) return;
-    for (const meta::MetaReference* r : owner_obj->meta_class().all_references()) {
-        if (!r->containment) continue;
-        for (ObjectId child : owner_obj->refs(r->name)) {
-            render::SceneNode* node = scene_->find_node(child.raw);
-            if (node != nullptr) {
-                node->style.highlighted = false;
-                node->style.intensity = 0.0;
-            }
-        }
-    }
+void DebuggerEngine::diverge(const link::Command& cmd, rt::SimTime t,
+                             std::string message) {
+    ++stats_.divergences;
+    Divergence d{t, cmd, std::move(message)};
+    for (EngineObserver* obs : observers_) obs->on_divergence(d);
 }
 
 void DebuggerEngine::check_consistency(const link::Command& cmd, rt::SimTime t) {
     const auto& c = comdes::comdes_metamodel();
     if (&design_->metamodel() != &c.mm) return; // generic models: no domain checks
 
-    auto diverge = [&](std::string msg) {
-        divergences_.push_back({t, cmd, std::move(msg)});
-    };
-
     if (cmd.kind == link::Cmd::Transition) {
         const MObject* tr = design_->get(ObjectId{cmd.b});
         if (tr == nullptr || !tr->meta_class().is_subtype_of(*c.transition)) {
-            diverge("TRANSITION names element #" + std::to_string(cmd.b) +
-                    " which is not a transition in the design model");
+            diverge(cmd, t,
+                    "TRANSITION names element #" + std::to_string(cmd.b) +
+                        " which is not a transition in the design model");
             return;
         }
         auto cur = current_state_.find(cmd.a);
         if (cur != current_state_.end() && tr->ref("from").raw != cur->second)
-            diverge("transition '" + std::to_string(cmd.b) + "' fired from state #" +
-                    std::to_string(cur->second) + " but the design model sources it at #" +
-                    std::to_string(tr->ref("from").raw));
+            diverge(cmd, t,
+                    "transition '" + std::to_string(cmd.b) + "' fired from state #" +
+                        std::to_string(cur->second) +
+                        " but the design model sources it at #" +
+                        std::to_string(tr->ref("from").raw));
         pending_transition_[cmd.a] = cmd.b;
         return;
     }
@@ -153,24 +116,26 @@ void DebuggerEngine::check_consistency(const link::Command& cmd, rt::SimTime t) 
         if (sm == nullptr || state == nullptr ||
             !sm->meta_class().is_subtype_of(*c.sm_fb) ||
             !state->meta_class().is_subtype_of(*c.state)) {
-            diverge("STATE_ENTER names unknown elements");
+            diverge(cmd, t, "STATE_ENTER names unknown elements");
             return;
         }
         bool member = false;
         for (ObjectId s : sm->refs("states"))
             if (s.raw == cmd.b) member = true;
         if (!member) {
-            diverge("state '" + state->name() + "' is not part of machine '" + sm->name() +
-                    "'");
+            diverge(cmd, t,
+                    "state '" + state->name() + "' is not part of machine '" +
+                        sm->name() + "'");
             return;
         }
         auto pend = pending_transition_.find(cmd.a);
         if (pend != pending_transition_.end()) {
             const MObject* tr = design_->get(ObjectId{pend->second});
             if (tr != nullptr && tr->ref("to").raw != cmd.b)
-                diverge("transition #" + std::to_string(pend->second) +
-                        " should enter state #" + std::to_string(tr->ref("to").raw) +
-                        " but the target entered '" + state->name() + "'");
+                diverge(cmd, t,
+                        "transition #" + std::to_string(pend->second) +
+                            " should enter state #" + std::to_string(tr->ref("to").raw) +
+                            " but the target entered '" + state->name() + "'");
             pending_transition_.erase(pend);
             return;
         }
@@ -178,9 +143,10 @@ void DebuggerEngine::check_consistency(const link::Command& cmd, rt::SimTime t) 
         if (cur == current_state_.end()) {
             // First entry must be the design model's initial state.
             if (sm->ref("initial").raw != cmd.b)
-                diverge("machine '" + sm->name() + "' started in '" + state->name() +
-                        "' but the design model starts in '" +
-                        design_->at(sm->ref("initial")).name() + "'");
+                diverge(cmd, t,
+                        "machine '" + sm->name() + "' started in '" + state->name() +
+                            "' but the design model starts in '" +
+                            design_->at(sm->ref("initial")).name() + "'");
             return;
         }
         if (cur->second == cmd.b) return; // re-entry reported passively
@@ -193,9 +159,10 @@ void DebuggerEngine::check_consistency(const link::Command& cmd, rt::SimTime t) 
                 connected = true;
         }
         if (!connected)
-            diverge("machine '" + sm->name() + "' jumped from state #" +
-                    std::to_string(cur->second) + " to '" + state->name() +
-                    "' without a design-model transition");
+            diverge(cmd, t,
+                    "machine '" + sm->name() + "' jumped from state #" +
+                        std::to_string(cur->second) + " to '" + state->name() +
+                        "' without a design-model transition");
     }
 }
 
@@ -213,9 +180,11 @@ void DebuggerEngine::check_breakpoints(const link::Command& cmd, rt::SimTime t) 
                 break;
             case Breakpoint::Kind::SignalPredicate: {
                 if (cmd.kind != link::Cmd::SignalUpdate) break;
+                auto ast = predicates_.find(it->first);
+                if (ast == predicates_.end()) break; // malformed: never fires
                 try {
-                    auto ast = expr::parse(bp.predicate);
-                    hit = expr::eval_bool(*ast, [&](std::string_view name) -> meta::Value {
+                    hit = expr::eval_bool(*ast->second,
+                                          [&](std::string_view name) -> meta::Value {
                         auto sit = signal_by_name_.find(std::string(name));
                         if (sit == signal_by_name_.end()) return {};
                         auto vit = signal_values_.find(sit->second);
@@ -223,7 +192,7 @@ void DebuggerEngine::check_breakpoints(const link::Command& cmd, rt::SimTime t) 
                                                            : meta::Value(vit->second);
                     });
                 } catch (const std::exception&) {
-                    hit = false; // malformed predicates never fire
+                    hit = false; // evaluation errors never fire
                 }
                 break;
             }
@@ -232,45 +201,54 @@ void DebuggerEngine::check_breakpoints(const link::Command& cmd, rt::SimTime t) 
         if (hit) {
             int handle = it->first;
             bool one_shot = bp.one_shot;
-            hit_breakpoint(handle, cmd, t);
-            if (one_shot)
-                it = breaks_.erase(it);
-            else
-                ++it;
+            hit_breakpoint(handle, bp, cmd, t);
+            if (one_shot) {
+                breaks_.erase(it);
+                predicates_.erase(handle);
+            }
             return; // at most one break per command
         }
         ++it;
     }
 }
 
-void DebuggerEngine::hit_breakpoint(int handle, const link::Command& cmd, rt::SimTime t) {
-    (void)handle;
-    (void)cmd;
-    (void)t;
+void DebuggerEngine::hit_breakpoint(int handle, const Breakpoint& bp,
+                                    const link::Command& cmd, rt::SimTime t) {
     ++stats_.breakpoints_hit;
-    state_ = EngineState::Paused;
+    for (EngineObserver* obs : observers_) obs->on_breakpoint_hit(handle, bp, cmd, t);
+    set_state(EngineState::Paused);
     if (control_.pause) control_.pause();
 }
 
 void DebuggerEngine::resume() {
     if (state_ != EngineState::Paused) return;
-    state_ = EngineState::Animating;
+    set_state(EngineState::Animating);
     if (control_.resume) control_.resume();
 }
 
 void DebuggerEngine::step() {
     if (state_ != EngineState::Paused) return;
     pause_on_next_command_ = true;
-    if (control_.step) control_.step();
+    if (control_.step) control_.step(step_filter_);
 }
 
 int DebuggerEngine::add_breakpoint(Breakpoint bp) {
     int handle = next_break_++;
+    if (bp.kind == Breakpoint::Kind::SignalPredicate) {
+        try {
+            predicates_.emplace(handle, expr::parse(bp.predicate));
+        } catch (const std::exception&) {
+            // Malformed predicate: breakpoint exists but never fires.
+        }
+    }
     breaks_.emplace(handle, std::move(bp));
     return handle;
 }
 
-bool DebuggerEngine::remove_breakpoint(int handle) { return breaks_.erase(handle) > 0; }
+bool DebuggerEngine::remove_breakpoint(int handle) {
+    predicates_.erase(handle);
+    return breaks_.erase(handle) > 0;
+}
 
 std::optional<double> DebuggerEngine::signal_value(ObjectId signal) const {
     auto it = signal_values_.find(signal.raw);

@@ -1,96 +1,85 @@
 // The runtime debugger engine (paper Fig. 2/Fig. 3).
 //
 // An event-driven state machine: normally waiting for commands from the
-// executing code, reacting by animating the GDM scene, recording the
-// trace, enforcing model-level breakpoints (pausing the target), and
+// executing code, reacting by fanning typed events out to its observers
+// (scene animators, the trace recorder, the divergence log, anything
+// else), enforcing model-level breakpoints (pausing the target), and
 // cross-checking observed behaviour against the design model (state-
 // sequence consistency: the runtime detector for implementation errors
 // introduced by model transformation).
+//
+// The engine owns no scene, no trace, and no divergence storage — it
+// emits through EngineObserver only. It is itself a link::CommandSink,
+// so any link::Transport can feed it directly.
 #pragma once
 
-#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/bindings.hpp"
-#include "core/trace.hpp"
-#include "expr/parser.hpp"
+#include "core/observer.hpp"
+#include "expr/ast.hpp"
 #include "link/commands.hpp"
+#include "link/transport.hpp"
 #include "meta/model.hpp"
-#include "render/scene.hpp"
 #include "rt/des.hpp"
 
 namespace gmdf::core {
 
-/// Engine FSM states (Fig. 3: initial waiting state, animating on
-/// command arrival, paused on a model-level breakpoint).
-enum class EngineState { Waiting, Animating, Paused };
-
-[[nodiscard]] const char* to_string(EngineState s);
-
-/// Model-level breakpoint kinds.
-struct Breakpoint {
-    enum class Kind {
-        StateEnter,      ///< break when a specific state is entered
-        TransitionFired, ///< break when a specific transition fires
-        SignalPredicate, ///< break when an expression over signals is true
-    };
-    Kind kind = Kind::StateEnter;
-    /// Element for StateEnter/TransitionFired.
-    meta::ObjectId element;
-    /// Expression over signal names for SignalPredicate (e.g. "speed > 40").
-    std::string predicate;
-    bool enabled = true;
-    bool one_shot = false; ///< auto-remove after the first hit
-};
-
-/// A detected inconsistency between observed behaviour and the design
-/// model (the paper's "implementation error" class).
-struct Divergence {
-    rt::SimTime t = 0;
-    link::Command cmd;
-    std::string message;
-};
-
-/// Callbacks into the target platform (pause/resume/single-step).
-struct TargetControl {
-    std::function<void()> pause;
-    std::function<void()> resume;
-    std::function<void()> step;
-};
+/// Engine-facing aliases for the link-level control types.
+using StepFilter = link::StepFilter;
+using TargetControl = link::TargetControl;
 
 struct EngineStats {
     std::uint64_t commands = 0;
     std::uint64_t reactions = 0;
     std::uint64_t breakpoints_hit = 0;
-    std::uint64_t frames = 0;
+    std::uint64_t divergences = 0;
 };
 
-/// The debugger engine. Owns neither the scene nor the design model;
-/// both must outlive it.
-class DebuggerEngine {
+/// The debugger engine. Owns neither the design model nor its observers;
+/// all must outlive it.
+class DebuggerEngine final : public link::CommandSink {
 public:
-    DebuggerEngine(const meta::Model& design, render::Scene& scene);
+    explicit DebuggerEngine(const meta::Model& design);
+
+    /// Registers an observer (non-owning; registration order = delivery
+    /// order). Observers must not mutate the engine during a callback.
+    void add_observer(EngineObserver* observer);
+
+    /// Unregisters; false when it was not registered.
+    bool remove_observer(EngineObserver* observer);
+
+    [[nodiscard]] const std::vector<EngineObserver*>& observers() const {
+        return observers_;
+    }
 
     void set_bindings(CommandBindingTable bindings) { bindings_ = std::move(bindings); }
+    [[nodiscard]] const CommandBindingTable& bindings() const { return bindings_; }
+
     void set_control(TargetControl control) { control_ = std::move(control); }
 
-    /// Decaying highlight half-life in simulated ns (animation feel).
-    void set_highlight_half_life(rt::SimTime ns) { half_life_ = ns; }
+    /// Restricts model-level stepping (empty filter: any task's next
+    /// release consumes the step).
+    void set_step_filter(StepFilter filter) { step_filter_ = std::move(filter); }
+    [[nodiscard]] const StepFilter& step_filter() const { return step_filter_; }
 
-    /// Ingests one command observed at simulated time `t`: records it,
-    /// applies the bound reaction, checks consistency and breakpoints.
+    /// Ingests one command observed at simulated time `t`: fans it out,
+    /// applies bound reactions, checks consistency and breakpoints.
     void ingest(const link::Command& cmd, rt::SimTime t);
+
+    /// link::CommandSink: transports deliver straight into the engine.
+    void deliver(const link::Command& cmd, rt::SimTime at) override { ingest(cmd, at); }
 
     [[nodiscard]] EngineState state() const { return state_; }
 
     /// Resumes a paused target (engine back to Animating).
     void resume();
 
-    /// Model-level step: asks the target to run one task release, then
-    /// pauses again at the next command.
+    /// Model-level step: asks the target to run one task release (honouring
+    /// the step filter), then pauses again at the next command.
     void step();
 
     /// Breakpoint management; returns a handle usable with remove_breakpoint.
@@ -104,27 +93,29 @@ public:
     /// Current state per state machine element id (from STATE_ENTER).
     [[nodiscard]] std::optional<meta::ObjectId> current_state(meta::ObjectId sm) const;
 
-    [[nodiscard]] const std::vector<Divergence>& divergences() const { return divergences_; }
     [[nodiscard]] const EngineStats& stats() const { return stats_; }
-    [[nodiscard]] TraceRecorder& trace() { return trace_; }
-    [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
 
 private:
-    void apply_reaction(const link::Command& cmd);
+    void set_state(EngineState next);
+    void diverge(const link::Command& cmd, rt::SimTime t, std::string message);
     void check_consistency(const link::Command& cmd, rt::SimTime t);
     void check_breakpoints(const link::Command& cmd, rt::SimTime t);
-    void hit_breakpoint(int handle, const link::Command& cmd, rt::SimTime t);
-    void highlight_exclusive(std::uint64_t element, std::uint64_t owner);
+    void hit_breakpoint(int handle, const Breakpoint& bp, const link::Command& cmd,
+                        rt::SimTime t);
 
     const meta::Model* design_;
-    render::Scene* scene_;
+    std::vector<EngineObserver*> observers_;
     CommandBindingTable bindings_ = CommandBindingTable::defaults();
     TargetControl control_;
-    TraceRecorder trace_;
+    StepFilter step_filter_;
     EngineState state_ = EngineState::Waiting;
     bool pause_on_next_command_ = false;
 
     std::map<int, Breakpoint> breaks_;
+    /// Parsed predicate per SignalPredicate breakpoint (absent for
+    /// malformed predicates, which never fire); avoids re-parsing on
+    /// every ingested command.
+    std::map<int, expr::ExprPtr> predicates_;
     int next_break_ = 1;
 
     std::map<std::uint64_t, std::uint64_t> current_state_;   // sm -> state
@@ -132,10 +123,7 @@ private:
     std::map<std::uint64_t, double> signal_values_;          // signal -> value
     std::map<std::string, std::uint64_t> signal_by_name_;
 
-    std::vector<Divergence> divergences_;
     EngineStats stats_;
-    rt::SimTime last_event_t_ = 0;
-    rt::SimTime half_life_ = 100 * rt::kMs;
 };
 
 } // namespace gmdf::core

@@ -1,8 +1,7 @@
 #include "core/session.hpp"
 
-#include <bit>
-
 #include "comdes/metamodel.hpp"
+#include "core/transports.hpp"
 #include "meta/serialize.hpp"
 
 namespace gmdf::core {
@@ -11,133 +10,71 @@ DebugSession::DebugSession(const meta::Model& design)
     : DebugSession(design, comdes_default_mapping()) {}
 
 DebugSession::DebugSession(const meta::Model& design, const MappingTable& mapping)
-    : design_(&design), abstraction_(abstract_model(design, mapping)),
-      engine_(design, abstraction_.scene) {}
+    : design_(&design), abstraction_(abstract_model(design, mapping)), engine_(design),
+      animator_(design, abstraction_.scene) {
+    engine_.add_observer(&animator_);
+    engine_.add_observer(&trace_);
+    engine_.add_observer(&divergence_log_);
+}
+
+link::Transport& DebugSession::attach(std::unique_ptr<link::Transport> transport) {
+    link::Transport& t = *transport;
+    transports_.push_back(std::move(transport));
+    engine_.set_control(t.control());
+    t.open(engine_);
+    return t;
+}
+
+// Deprecated shims stay as one-liners over attach(); silence their own
+// deprecation inside this translation unit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 void DebugSession::attach_active(rt::Target& target) {
-    target.set_debug_sink([this](int, std::span<const std::uint8_t> bytes, rt::SimTime at) {
-        decoder_.feed(bytes);
-        for (const auto& payload : decoder_.take_payloads()) {
-            auto cmd = link::decode_command(payload);
-            if (cmd.has_value()) engine_.ingest(*cmd, at);
-        }
-    });
-    engine_.set_control({[&target] { target.pause(); },
-                         [&target] { target.resume(); },
-                         [&target, filter = step_filter_] {
-                             target.request_single_step(*filter);
-                         }});
+    attach(make_active_uart_transport(target));
 }
 
 void DebugSession::attach_passive(rt::Target& target, const codegen::LoadedSystem& loaded,
                                   rt::SimTime poll_period, double tck_hz) {
-    engine_.set_control({[&target] { target.pause(); },
-                         [&target] { target.resume(); },
-                         [&target, filter = step_filter_] {
-                             target.request_single_step(*filter);
-                         }});
+    attach(make_passive_jtag_transport(target, loaded, *design_, poll_period, tck_hz));
+}
 
-    // Address -> synthesis rule, per node.
-    struct WatchTarget {
-        enum class Kind { SmState, Signal } kind;
-        meta::ObjectId element;
-        std::vector<meta::ObjectId> indexed; // SmState: state by index
-    };
+#pragma GCC diagnostic pop
 
-    for (std::size_t n = 0; n < target.node_count(); ++n) {
-        rt::Node& node = target.node(static_cast<int>(n));
-        auto pn = std::make_unique<PassiveNode>();
-        pn->tap = std::make_unique<link::JtagTap>(node.memory());
-        pn->probe = std::make_unique<link::JtagProbe>(*pn->tap, tck_hz);
-        pn->poller =
-            std::make_unique<link::WatchPoller>(target.sim(), *pn->probe, poll_period);
+EngineObserver& DebugSession::add_observer(std::unique_ptr<EngineObserver> observer) {
+    EngineObserver& obs = *observer;
+    observers_.push_back(std::move(observer));
+    engine_.add_observer(&obs);
+    return obs;
+}
 
-        auto targets = std::make_shared<std::map<std::uint32_t, WatchTarget>>();
-
-        // SM / modal state words of actors on this node.
-        for (const codegen::LoadedActor& la : loaded.actors) {
-            if (la.node != static_cast<int>(n)) continue;
-            for (const codegen::ElementMemory& em : la.elements) {
-                (*targets)[em.addr] = {WatchTarget::Kind::SmState, em.element, em.indexed};
-                pn->poller->watch(em.addr);
-            }
-        }
-        // Signal mirrors: watch on node 0 only (all replicas converge;
-        // one watch avoids duplicate events).
-        if (n == 0) {
-            for (std::size_t i = 0; i < loaded.signal_ids.size(); ++i) {
-                const std::string sym =
-                    codegen::LoadedSystem::signal_symbol(target.signals().name(static_cast<int>(i)));
-                if (!node.memory().has_symbol(sym)) continue;
-                std::uint32_t addr = node.memory().address_of(sym);
-                (*targets)[addr] = {WatchTarget::Kind::Signal, loaded.signal_ids[i], {}};
-                pn->poller->watch(addr);
-            }
-        }
-
-        pn->poller->set_callback([this, targets](const link::WatchEvent& ev) {
-            auto it = targets->find(ev.addr);
-            if (it == targets->end()) return;
-            const WatchTarget& wt = it->second;
-            link::Command cmd;
-            if (wt.kind == WatchTarget::Kind::SmState) {
-                if (ev.new_value >= wt.indexed.size()) return; // corrupt index
-                // Modal FBs mirror their mode the same way SMs mirror
-                // their state; pick the command kind by element class.
-                const meta::MObject* element = design_->get(wt.element);
-                bool is_modal =
-                    element != nullptr &&
-                    element->meta_class().is_subtype_of(*comdes::comdes_metamodel().modal_fb);
-                cmd.kind = is_modal ? link::Cmd::ModeChange : link::Cmd::StateEnter;
-                cmd.a = static_cast<std::uint32_t>(wt.element.raw);
-                cmd.b = static_cast<std::uint32_t>(wt.indexed[ev.new_value].raw);
-            } else {
-                cmd.kind = link::Cmd::SignalUpdate;
-                cmd.a = static_cast<std::uint32_t>(wt.element.raw);
-                cmd.value = std::bit_cast<float>(ev.new_value);
-            }
-            engine_.ingest(cmd, ev.at);
-        });
-        pn->poller->start();
-        passive_.push_back(std::move(pn));
-    }
-
-    // The initial state entry is invisible to a change-based watch (the
-    // mirror word is primed with the initial index), so the debugger
-    // synthesizes it from the design model — "the model debugger goes
-    // immediately to its initial state" (paper Fig. 6). A transformation
-    // fault in the initial state is therefore only detectable actively;
-    // EXPERIMENTS.md documents this passive-mode limitation.
-    const auto& c = comdes::comdes_metamodel();
-    for (const codegen::LoadedActor& la : loaded.actors) {
-        for (const codegen::ElementMemory& em : la.elements) {
-            const meta::MObject* element = design_->get(em.element);
-            if (element == nullptr || !element->meta_class().is_subtype_of(*c.sm_fb))
-                continue;
-            link::Command cmd{link::Cmd::StateEnter,
-                              static_cast<std::uint32_t>(em.element.raw),
-                              static_cast<std::uint32_t>(element->ref("initial").raw), 0.0f};
-            engine_.ingest(cmd, target.sim().now());
-        }
-    }
+std::uint64_t DebugSession::corrupt_frames() const {
+    std::uint64_t total = 0;
+    for (const auto& t : transports_) total += t->stats().corrupt_frames;
+    return total;
 }
 
 std::string DebugSession::gdm_text() const { return meta::write_model(abstraction_.gdm); }
 
 render::TimingDiagram DebugSession::timing_diagram() const {
-    return engine_.trace().timing_diagram(*design_);
+    return trace_.timing_diagram(*design_);
 }
 
-std::string DebugSession::vcd() const { return engine_.trace().to_vcd(*design_); }
+std::string DebugSession::vcd() const { return trace_.to_vcd(*design_); }
 
 std::vector<std::string> DebugSession::replay_frames(std::size_t stride) const {
     if (stride == 0) stride = 1;
-    // Fresh scene + engine: replay is deterministic re-animation.
+    // Fresh scene + engine + animator: replay is deterministic re-animation
+    // under the session's own bindings and animation feel.
     AbstractionResult fresh = abstract_model(*design_, comdes_default_mapping());
-    DebuggerEngine replay_engine(*design_, fresh.scene);
+    DebuggerEngine replay_engine(*design_);
+    replay_engine.set_bindings(engine_.bindings());
+    SceneAnimator replay_animator(*design_, fresh.scene);
+    replay_animator.set_highlight_half_life(animator_.highlight_half_life());
+    replay_engine.add_observer(&replay_animator);
     std::vector<std::string> frames;
     std::size_t i = 0;
-    for (const TraceEvent& ev : engine_.trace().events()) {
+    for (const TraceEvent& ev : trace_.events()) {
         replay_engine.ingest(ev.cmd, ev.t);
         if (++i % stride == 0) frames.push_back(render::render_ascii(fresh.scene));
     }

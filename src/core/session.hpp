@@ -5,9 +5,13 @@
 //   2. set up the abstraction mapping (defaults provided),
 //   3. configure command->reaction bindings (defaults provided),
 //   4. the GDM is generated automatically,
-//   5. attach the running target — actively (RS-232 command interface)
-//      or passively (JTAG watchpoints) — and the engine animates the GDM,
-//      honours model-level breakpoints, and records the trace for replay.
+//   5. attach the running target through a link::Transport — actively
+//      (RS-232 command interface) or passively (JTAG watchpoints), or any
+//      custom probe — and the engine fans events out to its observers:
+//      the scene animator, the trace recorder, the divergence log, and
+//      whatever else is registered.
+//
+// Prefer SessionBuilder (core/builder.hpp) for declarative construction.
 #pragma once
 
 #include <memory>
@@ -16,10 +20,11 @@
 
 #include "codegen/loader.hpp"
 #include "core/abstraction.hpp"
+#include "core/animator.hpp"
 #include "core/engine.hpp"
-#include "link/framing.hpp"
-#include "link/jtag.hpp"
-#include "link/watch.hpp"
+#include "core/observer.hpp"
+#include "core/trace.hpp"
+#include "link/transport.hpp"
 #include "render/ascii.hpp"
 #include "render/svg.hpp"
 #include "rt/target.hpp"
@@ -38,23 +43,49 @@ public:
     DebugSession(const DebugSession&) = delete;
     DebugSession& operator=(const DebugSession&) = delete;
 
-    /// Attaches via the active command interface: the target's debug UART
-    /// traffic is framed commands; engine control uses the host back
-    /// channel. Call before Target::start().
+    /// Attaches a debug transport: the engine becomes its command sink
+    /// and its control path drives pause/resume/step (with several
+    /// transports the last attached one controls). Call before
+    /// Target::start() so no events are missed. Returns the attached
+    /// transport (owned by the session).
+    link::Transport& attach(std::unique_ptr<link::Transport> transport);
+
+    /// Deprecated shim for the framed-UART path.
+    [[deprecated("use attach(make_active_uart_transport(target))")]]
     void attach_active(rt::Target& target);
 
-    /// Attaches passively: a JTAG probe per node plus watch pollers on
-    /// every mirrored SM/modal state and signal; observed memory changes
-    /// are synthesized into the same command stream.
-    /// `poll_period` bounds detection latency (bench C4).
+    /// Deprecated shim for the JTAG watch-poller path.
+    [[deprecated("use attach(make_passive_jtag_transport(target, loaded, design, "
+                 "poll_period))")]]
     void attach_passive(rt::Target& target, const codegen::LoadedSystem& loaded,
                         rt::SimTime poll_period, double tck_hz = 1e6);
+
+    /// Registers an additional engine observer, owned by the session
+    /// (e.g. a second SceneAnimator to animate another scene). Returns a
+    /// reference to the registered observer.
+    EngineObserver& add_observer(std::unique_ptr<EngineObserver> observer);
+
+    /// Transports attached so far (session-owned).
+    [[nodiscard]] const std::vector<std::unique_ptr<link::Transport>>& transports() const {
+        return transports_;
+    }
 
     [[nodiscard]] DebuggerEngine& engine() { return engine_; }
     [[nodiscard]] const DebuggerEngine& engine() const { return engine_; }
     [[nodiscard]] render::Scene& scene() { return abstraction_.scene; }
     [[nodiscard]] const meta::Model& gdm() const { return abstraction_.gdm; }
     [[nodiscard]] const AbstractionResult& abstraction() const { return abstraction_; }
+
+    /// The default scene animator (observer driving scene()).
+    [[nodiscard]] SceneAnimator& animator() { return animator_; }
+
+    /// The recorded command trace (observer; feeds replay/VCD/timing).
+    [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+
+    /// Divergences between observed behaviour and the design model.
+    [[nodiscard]] const std::vector<Divergence>& divergences() const {
+        return divergence_log_.divergences();
+    }
 
     /// Serialized GDM text (the "initial GDM file").
     [[nodiscard]] std::string gdm_text() const;
@@ -73,25 +104,22 @@ public:
 
     /// Restricts model-level stepping to one actor's task (empty: any
     /// task's next release consumes the step).
-    void set_step_actor(const std::string& actor_name) { *step_filter_ = actor_name; }
+    void set_step_actor(const std::string& actor_name) {
+        engine_.set_step_filter({actor_name});
+    }
 
-    /// Decoder-level link statistics (active mode).
-    [[nodiscard]] std::uint64_t corrupt_frames() const { return decoder_.corrupt_frames(); }
+    /// Corrupt frames across all attached transports (active mode).
+    [[nodiscard]] std::uint64_t corrupt_frames() const;
 
 private:
-    std::shared_ptr<std::string> step_filter_ = std::make_shared<std::string>();
     const meta::Model* design_;
     AbstractionResult abstraction_;
     DebuggerEngine engine_;
-    link::FrameDecoder decoder_;
-
-    // Passive-mode plumbing (one per node).
-    struct PassiveNode {
-        std::unique_ptr<link::JtagTap> tap;
-        std::unique_ptr<link::JtagProbe> probe;
-        std::unique_ptr<link::WatchPoller> poller;
-    };
-    std::vector<std::unique_ptr<PassiveNode>> passive_;
+    SceneAnimator animator_;
+    TraceRecorder trace_;
+    DivergenceLog divergence_log_;
+    std::vector<std::unique_ptr<EngineObserver>> observers_;
+    std::vector<std::unique_ptr<link::Transport>> transports_;
 };
 
 } // namespace gmdf::core

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/observer.hpp"
 #include "link/commands.hpp"
 #include "meta/model.hpp"
 #include "render/timing.hpp"
@@ -19,9 +20,12 @@ struct TraceEvent {
     link::Command cmd;
 };
 
-/// Timestamped record of every command the debugger observed.
-class TraceRecorder {
+/// Timestamped record of every command the debugger observed. Registers
+/// on the engine as an observer (on_command) or is fed directly.
+class TraceRecorder final : public EngineObserver {
 public:
+    void on_command(const link::Command& cmd, rt::SimTime t) override { record(cmd, t); }
+
     void record(const link::Command& cmd, rt::SimTime t) { events_.push_back({t, cmd}); }
     void clear() { events_.clear(); }
 

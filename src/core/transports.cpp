@@ -1,0 +1,77 @@
+#include "core/transports.hpp"
+
+#include "comdes/metamodel.hpp"
+
+namespace gmdf::core {
+
+std::unique_ptr<link::ActiveUartTransport> make_active_uart_transport(rt::Target& target) {
+    return std::make_unique<link::ActiveUartTransport>(target);
+}
+
+std::unique_ptr<link::PassiveJtagTransport>
+make_passive_jtag_transport(rt::Target& target, const codegen::LoadedSystem& loaded,
+                            const meta::Model& design, rt::SimTime poll_period,
+                            double tck_hz) {
+    const auto& c = comdes::comdes_metamodel();
+    std::vector<link::WatchSpec> specs;
+
+    // SM / modal state words, per owning node. Modal FBs mirror their
+    // mode the same way SMs mirror their state; the command kind follows
+    // the element class.
+    for (const codegen::LoadedActor& la : loaded.actors) {
+        for (const codegen::ElementMemory& em : la.elements) {
+            link::WatchSpec spec;
+            spec.node = la.node;
+            spec.addr = em.addr;
+            spec.kind = link::WatchSpec::Kind::Indexed;
+            const meta::MObject* element = design.get(em.element);
+            bool is_modal = element != nullptr &&
+                            element->meta_class().is_subtype_of(*c.modal_fb);
+            spec.cmd = is_modal ? link::Cmd::ModeChange : link::Cmd::StateEnter;
+            spec.element = static_cast<std::uint32_t>(em.element.raw);
+            spec.indexed.reserve(em.indexed.size());
+            for (meta::ObjectId id : em.indexed)
+                spec.indexed.push_back(static_cast<std::uint32_t>(id.raw));
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    // Signal mirrors: watch on node 0 only (all replicas converge; one
+    // watch avoids duplicate events).
+    if (target.node_count() > 0) {
+        rt::Node& node0 = target.node(0);
+        for (std::size_t i = 0; i < loaded.signal_ids.size(); ++i) {
+            const std::string sym = codegen::LoadedSystem::signal_symbol(
+                target.signals().name(static_cast<int>(i)));
+            if (!node0.memory().has_symbol(sym)) continue;
+            link::WatchSpec spec;
+            spec.node = 0;
+            spec.addr = node0.memory().address_of(sym);
+            spec.kind = link::WatchSpec::Kind::Value;
+            spec.cmd = link::Cmd::SignalUpdate;
+            spec.element = static_cast<std::uint32_t>(loaded.signal_ids[i].raw);
+            specs.push_back(std::move(spec));
+        }
+    }
+
+    // Initial state entries, synthesized from the design model (invisible
+    // to a change-based watch: the mirror word is primed with the initial
+    // index).
+    std::vector<link::Command> initial;
+    for (const codegen::LoadedActor& la : loaded.actors) {
+        for (const codegen::ElementMemory& em : la.elements) {
+            const meta::MObject* element = design.get(em.element);
+            if (element == nullptr || !element->meta_class().is_subtype_of(*c.sm_fb))
+                continue;
+            initial.push_back({link::Cmd::StateEnter,
+                               static_cast<std::uint32_t>(em.element.raw),
+                               static_cast<std::uint32_t>(element->ref("initial").raw),
+                               0.0f});
+        }
+    }
+
+    return std::make_unique<link::PassiveJtagTransport>(
+        target, std::move(specs), std::move(initial), poll_period, tck_hz);
+}
+
+} // namespace gmdf::core

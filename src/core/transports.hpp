@@ -1,0 +1,31 @@
+// Factories wiring link::Transports to a loaded COMDES system.
+//
+// link::PassiveJtagTransport is deliberately ignorant of the code
+// generator: it watches addresses and synthesizes commands from generic
+// WatchSpec rules. These helpers compile the codegen load map (RAM
+// placements, signal mirrors) plus the design model (element classes,
+// initial states) down to those rules.
+#pragma once
+
+#include <memory>
+
+#include "codegen/loader.hpp"
+#include "link/transport.hpp"
+#include "meta/model.hpp"
+#include "rt/target.hpp"
+
+namespace gmdf::core {
+
+/// Active RS-232 command interface on `target`'s debug UART.
+[[nodiscard]] std::unique_ptr<link::ActiveUartTransport>
+make_active_uart_transport(rt::Target& target);
+
+/// Passive JTAG watch over every mirrored SM/modal state word and signal
+/// of `loaded`, with the initial-state commands synthesized from `design`.
+/// `poll_period` bounds detection latency (bench C4).
+[[nodiscard]] std::unique_ptr<link::PassiveJtagTransport>
+make_passive_jtag_transport(rt::Target& target, const codegen::LoadedSystem& loaded,
+                            const meta::Model& design, rt::SimTime poll_period,
+                            double tck_hz = 1e6);
+
+} // namespace gmdf::core

@@ -9,9 +9,11 @@
 #include "comdes/build.hpp"
 #include "comdes/validate.hpp"
 #include "core/abstraction.hpp"
+#include "core/animator.hpp"
 #include "core/engine.hpp"
 #include "core/gdm.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 #include "meta/serialize.hpp"
 #include "meta/validate.hpp"
 
@@ -158,10 +160,19 @@ struct EngineFixture {
     DemoSystem d;
     gco::AbstractionResult abs;
     gco::DebuggerEngine engine;
+    gco::SceneAnimator animator;
+    gco::DivergenceLog log;
 
     EngineFixture()
         : abs(gco::abstract_model(d.sys.model(), gco::comdes_default_mapping())),
-          engine(d.sys.model(), abs.scene) {}
+          engine(d.sys.model()), animator(d.sys.model(), abs.scene) {
+        engine.add_observer(&animator);
+        engine.add_observer(&log);
+    }
+
+    [[nodiscard]] const std::vector<gco::Divergence>& divergences() const {
+        return log.divergences();
+    }
 
     gl::Command enter(gm::ObjectId state) const {
         return {gl::Cmd::StateEnter, static_cast<std::uint32_t>(d.sm_id.raw),
@@ -215,14 +226,14 @@ TEST(Engine, ConsistentSequenceProducesNoDivergence) {
     f.engine.ingest(f.enter(f.d.s_run), 2 * rt::kMs);
     f.engine.ingest(f.fire(f.d.t_stop), 3 * rt::kMs);
     f.engine.ingest(f.enter(f.d.s_idle), 3 * rt::kMs);
-    EXPECT_TRUE(f.engine.divergences().empty());
+    EXPECT_TRUE(f.divergences().empty());
 }
 
 TEST(Engine, WrongInitialStateDetected) {
     EngineFixture f;
     f.engine.ingest(f.enter(f.d.s_run), rt::kMs); // design starts in idle
-    ASSERT_EQ(f.engine.divergences().size(), 1u);
-    EXPECT_NE(f.engine.divergences()[0].message.find("started in"), std::string::npos);
+    ASSERT_EQ(f.divergences().size(), 1u);
+    EXPECT_NE(f.divergences()[0].message.find("started in"), std::string::npos);
 }
 
 TEST(Engine, TransitionTargetMismatchDetected) {
@@ -230,8 +241,8 @@ TEST(Engine, TransitionTargetMismatchDetected) {
     f.engine.ingest(f.enter(f.d.s_idle), 1 * rt::kMs);
     f.engine.ingest(f.fire(f.d.t_go), 2 * rt::kMs);
     f.engine.ingest(f.enter(f.d.s_idle), 2 * rt::kMs); // t_go targets run, not idle
-    ASSERT_FALSE(f.engine.divergences().empty());
-    EXPECT_NE(f.engine.divergences()[0].message.find("should enter"), std::string::npos);
+    ASSERT_FALSE(f.divergences().empty());
+    EXPECT_NE(f.divergences()[0].message.find("should enter"), std::string::npos);
 }
 
 TEST(Engine, JumpWithoutTransitionDetected) {
@@ -243,10 +254,10 @@ TEST(Engine, JumpWithoutTransitionDetected) {
     // reachable only from run.
     f.engine.ingest(f.enter(f.d.s_idle), 1 * rt::kMs);
     f.engine.ingest(f.enter(f.d.s_run), 2 * rt::kMs); // legal: t_go connects them
-    EXPECT_TRUE(f.engine.divergences().empty());
+    EXPECT_TRUE(f.divergences().empty());
     // Now remove legality by jumping idle->run again after returning:
     f.engine.ingest(f.enter(f.d.s_idle), 3 * rt::kMs); // legal via t_stop
-    EXPECT_TRUE(f.engine.divergences().empty());
+    EXPECT_TRUE(f.divergences().empty());
 }
 
 TEST(Engine, UnknownStateDetected) {
@@ -254,13 +265,13 @@ TEST(Engine, UnknownStateDetected) {
     gl::Command bad{gl::Cmd::StateEnter, static_cast<std::uint32_t>(f.d.sm_id.raw),
                     static_cast<std::uint32_t>(f.d.speed.raw), 0.0f};
     f.engine.ingest(bad, rt::kMs);
-    ASSERT_FALSE(f.engine.divergences().empty());
+    ASSERT_FALSE(f.divergences().empty());
 }
 
 TEST(Engine, BreakpointOnStateEnterPausesTarget) {
     EngineFixture f;
     bool paused = false, resumed = false;
-    f.engine.set_control({[&] { paused = true; }, [&] { resumed = true; }, [] {}});
+    f.engine.set_control({[&] { paused = true; }, [&] { resumed = true; }, [](const gco::StepFilter&) {}});
     f.engine.add_breakpoint({gco::Breakpoint::Kind::StateEnter, f.d.s_run, "", true, false});
     f.engine.ingest(f.enter(f.d.s_idle), 1 * rt::kMs);
     EXPECT_FALSE(paused);
@@ -276,7 +287,7 @@ TEST(Engine, BreakpointOnStateEnterPausesTarget) {
 
 TEST(Engine, OneShotBreakpointAutoRemoves) {
     EngineFixture f;
-    f.engine.set_control({[] {}, [] {}, [] {}});
+    f.engine.set_control({[] {}, [] {}, [](const gco::StepFilter&) {}});
     f.engine.add_breakpoint({gco::Breakpoint::Kind::StateEnter, f.d.s_idle, "", true, true});
     f.engine.ingest(f.enter(f.d.s_idle), rt::kMs);
     EXPECT_EQ(f.engine.breakpoints().size(), 0u);
@@ -285,7 +296,7 @@ TEST(Engine, OneShotBreakpointAutoRemoves) {
 TEST(Engine, SignalPredicateBreakpoint) {
     EngineFixture f;
     bool paused = false;
-    f.engine.set_control({[&] { paused = true; }, [] {}, [] {}});
+    f.engine.set_control({[&] { paused = true; }, [] {}, [](const gco::StepFilter&) {}});
     f.engine.add_breakpoint(
         {gco::Breakpoint::Kind::SignalPredicate, {}, "speed > 40", true, false});
     gl::Command low{gl::Cmd::SignalUpdate, static_cast<std::uint32_t>(f.d.speed.raw), 0,
@@ -311,7 +322,7 @@ TEST(Engine, RemoveBreakpoint) {
 TEST(Engine, StepPausesOnNextCommand) {
     EngineFixture f;
     int steps = 0;
-    f.engine.set_control({[] {}, [] {}, [&] { ++steps; }});
+    f.engine.set_control({[] {}, [] {}, [&](const gco::StepFilter&) { ++steps; }});
     f.engine.add_breakpoint({gco::Breakpoint::Kind::StateEnter, f.d.s_idle, "", true, true});
     f.engine.ingest(f.enter(f.d.s_idle), rt::kMs); // pauses via breakpoint
     ASSERT_EQ(f.engine.state(), gco::EngineState::Paused);
@@ -328,7 +339,7 @@ TEST(Session, ActiveEndToEnd) {
     rt::Target target;
     auto loaded = gg::load_system(target, d.sys.model(), gg::InstrumentOptions::active());
     gco::DebugSession session(d.sys.model());
-    session.attach_active(target);
+    session.attach(gco::make_active_uart_transport(target));
     target.start();
 
     // Command the machine to run at t=30ms via the cmd signal.
@@ -339,7 +350,7 @@ TEST(Session, ActiveEndToEnd) {
 
     EXPECT_EQ(session.engine().state(), gco::EngineState::Animating);
     EXPECT_GT(session.engine().stats().commands, 10u);
-    EXPECT_TRUE(session.engine().divergences().empty());
+    EXPECT_TRUE(session.divergences().empty());
     EXPECT_EQ(session.corrupt_frames(), 0u);
     // The machine ended in 'run' and its scene node is highlighted.
     ASSERT_TRUE(session.engine().current_state(d.sm_id).has_value());
@@ -358,7 +369,7 @@ TEST(Session, PassiveEndToEndZeroOverhead) {
     rt::Target target;
     auto loaded = gg::load_system(target, d.sys.model(), gg::InstrumentOptions::passive());
     gco::DebugSession session(d.sys.model());
-    session.attach_passive(target, loaded, /*poll_period=*/2 * rt::kMs);
+    session.attach(gco::make_passive_jtag_transport(target, loaded, d.sys.model(), 2 * rt::kMs));
     target.start();
     target.sim().at(30 * rt::kMs, [&] {
         target.node(0).publish_signal(loaded.signal_index.at(d.cmd_sig.raw), 2.0);
@@ -373,7 +384,7 @@ TEST(Session, PassiveEndToEndZeroOverhead) {
     // Signal value observed through the f32 mirror.
     ASSERT_TRUE(session.engine().signal_value(d.speed).has_value());
     EXPECT_NEAR(*session.engine().signal_value(d.speed), 20.0, 1e-4);
-    EXPECT_TRUE(session.engine().divergences().empty());
+    EXPECT_TRUE(session.divergences().empty());
 }
 
 TEST(Session, BreakpointPausesSimulatedTarget) {
@@ -381,7 +392,7 @@ TEST(Session, BreakpointPausesSimulatedTarget) {
     rt::Target target;
     auto loaded = gg::load_system(target, d.sys.model(), gg::InstrumentOptions::active());
     gco::DebugSession session(d.sys.model());
-    session.attach_active(target);
+    session.attach(gco::make_active_uart_transport(target));
     session.engine().add_breakpoint(
         {gco::Breakpoint::Kind::StateEnter, d.s_run, "", true, false});
     target.start();
@@ -405,14 +416,14 @@ TEST(Session, TraceReplayIsDeterministic) {
     rt::Target target;
     auto loaded = gg::load_system(target, d.sys.model(), gg::InstrumentOptions::active());
     gco::DebugSession session(d.sys.model());
-    session.attach_active(target);
+    session.attach(gco::make_active_uart_transport(target));
     target.start();
     target.sim().at(30 * rt::kMs, [&] {
         target.node(0).publish_signal(loaded.signal_index.at(d.cmd_sig.raw), 2.0);
     });
     target.run_for(100 * rt::kMs);
 
-    ASSERT_GT(session.engine().trace().size(), 5u);
+    ASSERT_GT(session.trace().size(), 5u);
     auto frames1 = session.replay_frames(5);
     auto frames2 = session.replay_frames(5);
     ASSERT_FALSE(frames1.empty());
@@ -425,7 +436,7 @@ TEST(Session, TimingDiagramAndVcdFromTrace) {
     rt::Target target;
     auto loaded = gg::load_system(target, d.sys.model(), gg::InstrumentOptions::active());
     gco::DebugSession session(d.sys.model());
-    session.attach_active(target);
+    session.attach(gco::make_active_uart_transport(target));
     target.start();
     target.sim().at(30 * rt::kMs, [&] {
         target.node(0).publish_signal(loaded.signal_index.at(d.cmd_sig.raw), 2.0);
@@ -457,7 +468,7 @@ TEST_P(FaultDetection, DivergenceReported) {
     rt::Target target;
     auto loaded = gg::load_system(target, mutated, gg::InstrumentOptions::active());
     gco::DebugSession session(d.sys.model()); // debugger sees the *design*
-    session.attach_active(target);
+    session.attach(gco::make_active_uart_transport(target));
     target.start();
     target.sim().at(30 * rt::kMs, [&] {
         target.node(0).publish_signal(loaded.signal_index.at(d.cmd_sig.raw), 2.0);
@@ -469,12 +480,12 @@ TEST_P(FaultDetection, DivergenceReported) {
 
     if (GetParam() == gmdf::codegen::FaultKind::WrongTransitionTarget ||
         GetParam() == gmdf::codegen::FaultKind::WrongInitialState) {
-        EXPECT_FALSE(session.engine().divergences().empty())
+        EXPECT_FALSE(session.divergences().empty())
             << "fault '" << gg::to_string(GetParam()) << "' must surface as a divergence";
     }
     // Structural faults always surface; value faults (guard/param/
     // connection) change signal values, visible in the trace.
-    EXPECT_GT(session.engine().trace().size(), 0u);
+    EXPECT_GT(session.trace().size(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Kinds, FaultDetection,

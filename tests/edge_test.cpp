@@ -5,7 +5,9 @@
 #include "codegen/loader.hpp"
 #include "comdes/build.hpp"
 #include "comdes/validate.hpp"
+#include "core/animator.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 #include "meta/serialize.hpp"
 
 namespace gc = gmdf::comdes;
@@ -48,8 +50,10 @@ TEST(Edge, HighlightDecaysBetweenDistantEvents) {
     auto s1 = sm.add_state("s1");
     sm.add_transition(s0, s1, "go");
     auto abs = gco::abstract_model(sys.model(), gco::comdes_default_mapping());
-    gco::DebuggerEngine engine(sys.model(), abs.scene);
-    engine.set_highlight_half_life(100 * rt::kMs);
+    gco::DebuggerEngine engine(sys.model());
+    gco::SceneAnimator animator(sys.model(), abs.scene);
+    animator.set_highlight_half_life(100 * rt::kMs);
+    engine.add_observer(&animator);
 
     auto enter = [&](gm::ObjectId st, rt::SimTime t) {
         engine.ingest({gl::Cmd::StateEnter, static_cast<std::uint32_t>(sm.sm_id().raw),
@@ -108,12 +112,12 @@ TEST(Edge, SelfLoopTransitionAnimates) {
     rt::Target target;
     (void)gg::load_system(target, sys.model(), gg::InstrumentOptions::active());
     gco::DebugSession session(sys.model());
-    session.attach_active(target);
+    session.attach(gco::make_active_uart_transport(target));
     target.start();
     target.run_for(100 * rt::kMs);
     // Self transitions re-fire every scan and must not diverge.
-    EXPECT_TRUE(session.engine().divergences().empty());
-    EXPECT_GT(session.engine().trace().filter(gl::Cmd::Transition).size(), 3u);
+    EXPECT_TRUE(session.divergences().empty());
+    EXPECT_GT(session.trace().filter(gl::Cmd::Transition).size(), 3u);
     EXPECT_NE(session.scene().find_edge(t_self.raw), nullptr);
 }
 
@@ -156,7 +160,7 @@ TEST(Edge, PauseDuringUartBacklogStillDelivers) {
     rt::Target target;
     (void)gg::load_system(target, sys.model(), gg::InstrumentOptions::active());
     gco::DebugSession session(sys.model());
-    session.attach_active(target);
+    session.attach(gco::make_active_uart_transport(target));
     target.start();
     target.run_for(100 * rt::kMs);
     auto before = session.engine().stats().commands;

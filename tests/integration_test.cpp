@@ -12,6 +12,7 @@
 #include "comdes/validate.hpp"
 #include "core/gdm.hpp"
 #include "core/session.hpp"
+#include "core/transports.hpp"
 #include "meta/serialize.hpp"
 #include "meta/validate.hpp"
 
@@ -104,14 +105,14 @@ TEST(Integration, PassiveModalModeChanges) {
     rt::Target target;
     auto loaded = gg::load_system(target, sys.model(), gg::InstrumentOptions::passive());
     gco::DebugSession session(sys.model());
-    session.attach_passive(target, loaded, 2 * rt::kMs);
+    session.attach(gco::make_passive_jtag_transport(target, loaded, sys.model(), 2 * rt::kMs));
     target.start();
     target.sim().at(50 * rt::kMs, [&] {
         target.node(0).publish_signal(loaded.signal_index.at(mode_sig.raw), 1.0);
     });
     target.run_for(200 * rt::kMs);
 
-    auto mode_events = session.engine().trace().filter(gl::Cmd::ModeChange);
+    auto mode_events = session.trace().filter(gl::Cmd::ModeChange);
     ASSERT_GE(mode_events.size(), 1u);
     EXPECT_EQ(mode_events.back().cmd.b, static_cast<std::uint32_t>(mode_ids[1].raw));
     EXPECT_EQ(target.total_instr_cycles(), 0u);
@@ -159,12 +160,12 @@ TEST(Integration, ActiveLinkSaturatesGracefully) {
     rt::Target target;
     (void)gg::load_system(target, sys.model(), gg::InstrumentOptions::active());
     gco::DebugSession session(sys.model());
-    session.attach_active(target);
+    session.attach(gco::make_active_uart_transport(target));
     target.start();
     target.run_for(2 * rt::kSec);
 
     EXPECT_EQ(session.corrupt_frames(), 0u);
-    EXPECT_TRUE(session.engine().divergences().empty());
+    EXPECT_TRUE(session.divergences().empty());
     // Wire-limited: ~11520 B/s over ~17 B frames is ~680 cmd/s; the 1 kHz
     // task emits ~4000 cmd/s, so far fewer arrive than were sent.
     EXPECT_LT(session.engine().stats().commands, 1700u);

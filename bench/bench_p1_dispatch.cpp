@@ -1,0 +1,76 @@
+// P1 — protocol dispatch overhead per request.
+//
+// The control plane should be negligible next to the data plane: one
+// request is a parse + registry lookup + handler. These benchmarks
+// price the pieces separately (codec only, dispatch only, full line)
+// against a live blinker scenario with a warmed-up trace, so `query`
+// handlers resolve real elements.
+#include <benchmark/benchmark.h>
+
+#include "proto/scenarios.hpp"
+
+using namespace gmdf;
+
+namespace {
+
+proto::Scenario& scenario() {
+    static std::unique_ptr<proto::Scenario> s = [] {
+        auto built = proto::make_scenario("blinker");
+        // One second of activity so queries and renders see real state.
+        (void)built->controller().execute_line("run 1000");
+        (void)built->controller().drain_events();
+        return built;
+    }();
+    return *s;
+}
+
+void BM_ParseRequest(benchmark::State& state) {
+    for (auto _ : state) {
+        auto r = proto::parse_request("break add signal \"speed > 40\" once");
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ParseRequest);
+
+void BM_FormatResponse(benchmark::State& state) {
+    auto resp = proto::Response::make_ok(
+        {"commands 11", "reactions 9", "breakpoints-hit 1", "divergences 0"});
+    for (auto _ : state) {
+        auto s = proto::format_response(resp);
+        benchmark::DoNotOptimize(s);
+    }
+}
+BENCHMARK(BM_FormatResponse);
+
+void BM_DispatchInfo(benchmark::State& state) {
+    auto& ctl = scenario().controller();
+    proto::Request req{"info", {}};
+    for (auto _ : state) {
+        auto resp = ctl.execute(req);
+        benchmark::DoNotOptimize(resp);
+    }
+}
+BENCHMARK(BM_DispatchInfo);
+
+void BM_DispatchQuerySignal(benchmark::State& state) {
+    auto& ctl = scenario().controller();
+    proto::Request req{"query", {"signal", "led"}};
+    for (auto _ : state) {
+        auto resp = ctl.execute(req);
+        benchmark::DoNotOptimize(resp);
+    }
+}
+BENCHMARK(BM_DispatchQuerySignal);
+
+void BM_ExecuteLineQueryStats(benchmark::State& state) {
+    auto& ctl = scenario().controller();
+    for (auto _ : state) {
+        auto resp = ctl.execute_line("query stats");
+        benchmark::DoNotOptimize(resp);
+    }
+}
+BENCHMARK(BM_ExecuteLineQueryStats);
+
+} // namespace
+
+BENCHMARK_MAIN();

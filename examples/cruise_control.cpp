@@ -126,8 +126,9 @@ int main() {
     std::cout << "breakpoint hits (overshoot): " << session.engine().stats().breakpoints_hit
               << "\n";
     if (session.engine().state() == core::EngineState::Paused) {
-        std::cout << "target halted on overshoot; resuming...\n";
-        session.engine().resume();
+        std::cout << "target halted on overshoot (engine "
+                  << core::to_string(session.engine().state()) << "); resuming...\n";
+        session.resume();
         target.run_for(5 * rt::kSec);
         std::cout << "settled speed: " << vehicle_speed << "\n";
     }

@@ -71,6 +71,7 @@ int main() {
     std::cout << "commands observed: " << session->engine().stats().commands
               << ", reactions: " << session->engine().stats().reactions
               << ", divergences: " << session->divergences().size() << "\n";
+    std::cout << "same workflow, scripted: ./build/gmdf_dbg --script examples/quickstart.gds\n";
     (void)led;
     (void)loaded;
     return 0;

@@ -82,16 +82,17 @@ int main() {
               << ", target paused: " << (target.paused() ? "yes" : "no") << "\n";
     std::cout << session.render_ascii() << "\n";
 
-    // Step-wise execution: three single task releases.
+    // Step-wise execution: three single task releases (session.step()
+    // routes through the protocol dispatcher — same path as gmdf_dbg).
     for (int i = 0; i < 3; ++i) {
-        session.engine().step();
+        session.step();
         target.run_for(100 * rt::kMs);
         auto cur = session.engine().current_state(sm.sm_id());
         std::cout << "after step " << i + 1 << ": state '"
                   << (cur ? sys.model().at(*cur).name() : "?") << "'\n";
     }
 
-    session.engine().resume();
+    session.resume();
     target.run_for(300 * rt::kMs);
 
     std::cout << "\n=== timing diagram (controller + signals) ===\n";

@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "codegen/loader.hpp"
 #include "core/session.hpp"
+#include "rt/target.hpp"
 
 namespace gmdf::core {
 

@@ -20,6 +20,15 @@ const char* to_string(EngineState s) {
     return "?";
 }
 
+const char* to_string(Breakpoint::Kind kind) {
+    switch (kind) {
+    case Breakpoint::Kind::StateEnter: return "state-enter";
+    case Breakpoint::Kind::TransitionFired: return "transition";
+    case Breakpoint::Kind::SignalPredicate: return "signal-predicate";
+    }
+    return "?";
+}
+
 DebuggerEngine::DebuggerEngine(const meta::Model& design) : design_(&design) {
     // Pre-index signal names for predicate breakpoints.
     const auto& c = comdes::comdes_metamodel();
@@ -216,6 +225,12 @@ void DebuggerEngine::hit_breakpoint(int handle, const Breakpoint& bp,
                                     const link::Command& cmd, rt::SimTime t) {
     ++stats_.breakpoints_hit;
     for (EngineObserver* obs : observers_) obs->on_breakpoint_hit(handle, bp, cmd, t);
+    set_state(EngineState::Paused);
+    if (control_.pause) control_.pause();
+}
+
+void DebuggerEngine::pause() {
+    if (state_ == EngineState::Paused) return;
     set_state(EngineState::Paused);
     if (control_.pause) control_.pause();
 }

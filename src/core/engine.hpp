@@ -37,6 +37,11 @@ struct EngineStats {
     std::uint64_t reactions = 0;
     std::uint64_t breakpoints_hit = 0;
     std::uint64_t divergences = 0;
+    // Control-plane counters (maintained by the proto layer; surfaced
+    // through `query stats`).
+    std::uint64_t requests = 0;       ///< protocol requests served
+    std::uint64_t request_errors = 0; ///< requests answered with an error
+    std::uint64_t events_emitted = 0; ///< asynchronous events queued
 };
 
 /// The debugger engine. Owns neither the design model nor its observers;
@@ -75,6 +80,9 @@ public:
 
     [[nodiscard]] EngineState state() const { return state_; }
 
+    /// Halts the target (engine to Paused); no-op when already paused.
+    void pause();
+
     /// Resumes a paused target (engine back to Animating).
     void resume();
 
@@ -94,6 +102,11 @@ public:
     [[nodiscard]] std::optional<meta::ObjectId> current_state(meta::ObjectId sm) const;
 
     [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+    /// Control-plane accounting (called by proto::SessionController).
+    void note_request() { ++stats_.requests; }
+    void note_request_error() { ++stats_.request_errors; }
+    void note_event() { ++stats_.events_emitted; }
 
 private:
     void set_state(EngineState next);

@@ -1,5 +1,7 @@
 #include "core/gdm.hpp"
 
+#include "link/commands.hpp"
+
 namespace gmdf::core {
 
 namespace {
@@ -9,9 +11,7 @@ void build(GdmMeta& g) {
     g.shape = &mm.add_enum("GdmShape",
                            {"Rectangle", "Circle", "Triangle", "Diamond", "Line", "Arrow"});
     g.reaction = &mm.add_enum("GdmReaction", {"highlight", "pulse", "label_update", "none"});
-    g.command = &mm.add_enum("GdmCommand",
-                             {"HELLO", "TASK_START", "TASK_END", "STATE_ENTER", "TRANSITION",
-                              "SIGNAL_UPDATE", "MODE_CHANGE"});
+    g.command = &mm.add_enum("GdmCommand", link::event_command_names());
 
     g.element = &mm.add_class("GdmElement", /*is_abstract=*/true);
     mm.add_attribute(*g.element, meta::attr_string("name", true));

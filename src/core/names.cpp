@@ -1,0 +1,21 @@
+#include "core/names.hpp"
+
+#include <sstream>
+
+namespace gmdf::core {
+
+std::string element_label(const meta::Model& model, std::uint64_t raw) {
+    const meta::MObject* obj = model.get(meta::ObjectId{raw});
+    if (obj == nullptr) return "#" + std::to_string(raw);
+    std::string n = obj->name();
+    return n.empty() ? obj->meta_class().name() + "#" + std::to_string(raw) : n;
+}
+
+std::string value_label(double v) {
+    std::ostringstream os;
+    os.precision(4);
+    os << v;
+    return os.str();
+}
+
+} // namespace gmdf::core

@@ -1,0 +1,24 @@
+// Shared stringification of model elements.
+//
+// One place for the "name it for a human" rules the trace products, the
+// protocol layer, and the examples all need: prefer the element's name,
+// fall back to Class#id for anonymous elements, and to #id when the id
+// is not in the model at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "meta/model.hpp"
+
+namespace gmdf::core {
+
+/// Label for the element with raw id `raw` in `model`.
+[[nodiscard]] std::string element_label(const meta::Model& model, std::uint64_t raw);
+
+/// Label for an observed signal value (4 significant digits) — shared by
+/// the timing-diagram lanes and the protocol's `query signal` so the two
+/// views always print the same rendering of the same value.
+[[nodiscard]] std::string value_label(double v);
+
+} // namespace gmdf::core

@@ -40,6 +40,9 @@ struct Breakpoint {
     bool one_shot = false; ///< auto-remove after the first hit
 };
 
+/// Kebab-case kind name ("state-enter", "transition", "signal-predicate").
+[[nodiscard]] const char* to_string(Breakpoint::Kind kind);
+
 /// A detected inconsistency between observed behaviour and the design
 /// model (the paper's "implementation error" class).
 struct Divergence {

@@ -1,8 +1,8 @@
 #include "core/session.hpp"
 
 #include "comdes/metamodel.hpp"
-#include "core/transports.hpp"
 #include "meta/serialize.hpp"
+#include "proto/controller.hpp"
 
 namespace gmdf::core {
 
@@ -17,6 +17,8 @@ DebugSession::DebugSession(const meta::Model& design, const MappingTable& mappin
     engine_.add_observer(&divergence_log_);
 }
 
+DebugSession::~DebugSession() = default;
+
 link::Transport& DebugSession::attach(std::unique_ptr<link::Transport> transport) {
     link::Transport& t = *transport;
     transports_.push_back(std::move(transport));
@@ -25,27 +27,37 @@ link::Transport& DebugSession::attach(std::unique_ptr<link::Transport> transport
     return t;
 }
 
-// Deprecated shims stay as one-liners over attach(); silence their own
-// deprecation inside this translation unit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-void DebugSession::attach_active(rt::Target& target) {
-    attach(make_active_uart_transport(target));
-}
-
-void DebugSession::attach_passive(rt::Target& target, const codegen::LoadedSystem& loaded,
-                                  rt::SimTime poll_period, double tck_hz) {
-    attach(make_passive_jtag_transport(target, loaded, *design_, poll_period, tck_hz));
-}
-
-#pragma GCC diagnostic pop
-
 EngineObserver& DebugSession::add_observer(std::unique_ptr<EngineObserver> observer) {
     EngineObserver& obs = *observer;
     observers_.push_back(std::move(observer));
     engine_.add_observer(&obs);
     return obs;
+}
+
+proto::SessionController& DebugSession::controller() {
+    if (controller_ == nullptr)
+        controller_ = std::make_unique<proto::SessionController>(*this);
+    return *controller_;
+}
+
+// The C++ control methods construct protocol requests, so they exercise
+// the exact dispatcher handlers remote clients hit — the two surfaces
+// cannot drift. Responses are dropped: "resume while running" and
+// friends stay no-ops here, as they always were.
+void DebugSession::pause() { (void)controller().execute({"pause", {}}); }
+
+void DebugSession::resume() { (void)controller().execute({"resume", {}}); }
+
+void DebugSession::step(const std::string& actor) {
+    proto::Request req{"step", {}};
+    if (!actor.empty()) req.args.push_back(actor);
+    (void)controller().execute(req);
+}
+
+void DebugSession::set_step_actor(const std::string& actor_name) {
+    proto::Request req{"step-filter", {}};
+    if (!actor_name.empty()) req.args.push_back(actor_name);
+    (void)controller().execute(req);
 }
 
 std::uint64_t DebugSession::corrupt_frames() const {

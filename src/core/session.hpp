@@ -11,6 +11,10 @@
 //      the scene animator, the trace recorder, the divergence log, and
 //      whatever else is registered.
 //
+// The control plane (pause/resume/step) routes through the session's
+// proto::SessionController, so the C++ methods and the text protocol
+// execute the exact same dispatcher handlers.
+//
 // Prefer SessionBuilder (core/builder.hpp) for declarative construction.
 #pragma once
 
@@ -18,7 +22,6 @@
 #include <string>
 #include <vector>
 
-#include "codegen/loader.hpp"
 #include "core/abstraction.hpp"
 #include "core/animator.hpp"
 #include "core/engine.hpp"
@@ -27,7 +30,10 @@
 #include "link/transport.hpp"
 #include "render/ascii.hpp"
 #include "render/svg.hpp"
-#include "rt/target.hpp"
+
+namespace gmdf::proto {
+class SessionController;
+} // namespace gmdf::proto
 
 namespace gmdf::core {
 
@@ -43,22 +49,14 @@ public:
     DebugSession(const DebugSession&) = delete;
     DebugSession& operator=(const DebugSession&) = delete;
 
+    ~DebugSession();
+
     /// Attaches a debug transport: the engine becomes its command sink
     /// and its control path drives pause/resume/step (with several
     /// transports the last attached one controls). Call before
     /// Target::start() so no events are missed. Returns the attached
     /// transport (owned by the session).
     link::Transport& attach(std::unique_ptr<link::Transport> transport);
-
-    /// Deprecated shim for the framed-UART path.
-    [[deprecated("use attach(make_active_uart_transport(target))")]]
-    void attach_active(rt::Target& target);
-
-    /// Deprecated shim for the JTAG watch-poller path.
-    [[deprecated("use attach(make_passive_jtag_transport(target, loaded, design, "
-                 "poll_period))")]]
-    void attach_passive(rt::Target& target, const codegen::LoadedSystem& loaded,
-                        rt::SimTime poll_period, double tck_hz = 1e6);
 
     /// Registers an additional engine observer, owned by the session
     /// (e.g. a second SceneAnimator to animate another scene). Returns a
@@ -73,8 +71,14 @@ public:
     [[nodiscard]] DebuggerEngine& engine() { return engine_; }
     [[nodiscard]] const DebuggerEngine& engine() const { return engine_; }
     [[nodiscard]] render::Scene& scene() { return abstraction_.scene; }
+    [[nodiscard]] const meta::Model& design() const { return *design_; }
     [[nodiscard]] const meta::Model& gdm() const { return abstraction_.gdm; }
     [[nodiscard]] const AbstractionResult& abstraction() const { return abstraction_; }
+
+    /// The session's protocol controller: the typed request/response
+    /// surface (proto::Request -> proto::Response + queued proto::Events).
+    /// Created on first use; owned by the session.
+    [[nodiscard]] proto::SessionController& controller();
 
     /// The default scene animator (observer driving scene()).
     [[nodiscard]] SceneAnimator& animator() { return animator_; }
@@ -102,11 +106,16 @@ public:
     /// scene and returns one ASCII frame per `stride` events.
     [[nodiscard]] std::vector<std::string> replay_frames(std::size_t stride = 1) const;
 
+    /// Execution control, routed through the protocol dispatcher (the
+    /// same handlers `gmdf_dbg` drives). All are safe no-ops when the
+    /// engine is not in a state to honour them.
+    void pause();
+    void resume();
+    void step(const std::string& actor = {});
+
     /// Restricts model-level stepping to one actor's task (empty: any
     /// task's next release consumes the step).
-    void set_step_actor(const std::string& actor_name) {
-        engine_.set_step_filter({actor_name});
-    }
+    void set_step_actor(const std::string& actor_name);
 
     /// Corrupt frames across all attached transports (active mode).
     [[nodiscard]] std::uint64_t corrupt_frames() const;
@@ -120,6 +129,8 @@ private:
     DivergenceLog divergence_log_;
     std::vector<std::unique_ptr<EngineObserver>> observers_;
     std::vector<std::unique_ptr<link::Transport>> transports_;
+    // Declared last: its destructor unsubscribes from engine_.
+    std::unique_ptr<proto::SessionController> controller_;
 };
 
 } // namespace gmdf::core

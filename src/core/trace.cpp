@@ -3,6 +3,8 @@
 #include <map>
 #include <sstream>
 
+#include "core/names.hpp"
+
 namespace gmdf::core {
 
 std::vector<TraceEvent> TraceRecorder::filter(link::Cmd kind) const {
@@ -12,23 +14,6 @@ std::vector<TraceEvent> TraceRecorder::filter(link::Cmd kind) const {
     return out;
 }
 
-namespace {
-
-std::string element_name(const meta::Model& design, std::uint32_t raw) {
-    const meta::MObject* obj = design.get(meta::ObjectId{raw});
-    if (obj == nullptr) return "#" + std::to_string(raw);
-    std::string n = obj->name();
-    return n.empty() ? obj->meta_class().name() + "#" + std::to_string(raw) : n;
-}
-
-std::string format_value(float v) {
-    std::ostringstream os;
-    os.precision(4);
-    os << v;
-    return os.str();
-}
-
-} // namespace
 
 render::TimingDiagram TraceRecorder::timing_diagram(const meta::Model& design) const {
     render::TimingDiagram diagram;
@@ -40,14 +25,14 @@ render::TimingDiagram TraceRecorder::timing_diagram(const meta::Model& design) c
         case link::Cmd::StateEnter:
         case link::Cmd::ModeChange: {
             auto [it, inserted] = sm_lane.try_emplace(e.cmd.a, 0);
-            if (inserted) it->second = diagram.add_lane(element_name(design, e.cmd.a));
-            diagram.change(it->second, e.t, element_name(design, e.cmd.b));
+            if (inserted) it->second = diagram.add_lane(element_label(design, e.cmd.a));
+            diagram.change(it->second, e.t, element_label(design, e.cmd.b));
             break;
         }
         case link::Cmd::SignalUpdate: {
             auto [it, inserted] = sig_lane.try_emplace(e.cmd.a, 0);
-            if (inserted) it->second = diagram.add_lane(element_name(design, e.cmd.a));
-            diagram.change(it->second, e.t, format_value(e.cmd.value));
+            if (inserted) it->second = diagram.add_lane(element_label(design, e.cmd.a));
+            diagram.change(it->second, e.t, value_label(e.cmd.value));
             break;
         }
         default: break;
@@ -66,7 +51,7 @@ std::string TraceRecorder::to_vcd(const meta::Model& design) const {
     for (const auto& e : events_) {
         if (e.cmd.kind == link::Cmd::StateEnter || e.cmd.kind == link::Cmd::ModeChange) {
             if (!sm_var.contains(e.cmd.a))
-                sm_var[e.cmd.a] = vcd.add_int(element_name(design, e.cmd.a) + "_state");
+                sm_var[e.cmd.a] = vcd.add_int(element_label(design, e.cmd.a) + "_state");
             auto& idx = state_index[e.cmd.a];
             if (!idx.contains(e.cmd.b)) {
                 int next = static_cast<int>(idx.size());
@@ -74,7 +59,7 @@ std::string TraceRecorder::to_vcd(const meta::Model& design) const {
             }
         } else if (e.cmd.kind == link::Cmd::SignalUpdate) {
             if (!sig_var.contains(e.cmd.a))
-                sig_var[e.cmd.a] = vcd.add_real(element_name(design, e.cmd.a));
+                sig_var[e.cmd.a] = vcd.add_real(element_label(design, e.cmd.a));
         }
     }
     for (const auto& e : events_) {

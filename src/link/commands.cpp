@@ -21,6 +21,12 @@ const char* to_string(Cmd kind) {
     return "UNKNOWN";
 }
 
+std::vector<std::string> event_command_names() {
+    std::vector<std::string> names;
+    for (Cmd kind : kEventCommandKinds) names.emplace_back(to_string(kind));
+    return names;
+}
+
 std::string Command::to_string() const {
     std::ostringstream os;
     os << link::to_string(kind) << "(a=" << a << ", b=" << b << ", v=" << value << ")";

@@ -34,6 +34,17 @@ enum class Cmd : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Cmd kind);
 
+/// The target -> host event kinds, in enum-declaration order.
+inline constexpr Cmd kEventCommandKinds[] = {
+    Cmd::Hello,      Cmd::TaskStart,    Cmd::TaskEnd,    Cmd::StateEnter,
+    Cmd::Transition, Cmd::SignalUpdate, Cmd::ModeChange,
+};
+
+/// Names of the event command kinds (to_string over kEventCommandKinds);
+/// drives the GDM metamodel's command enum and the protocol help, so the
+/// wire names exist in exactly one place.
+[[nodiscard]] std::vector<std::string> event_command_names();
+
 /// One debug command. `a` / `b` carry model object ids (meta::ObjectId
 /// raw values, which fit 32 bits in practice and are range-checked on
 /// encode); `value` carries a signal value as IEEE single.

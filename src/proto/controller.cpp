@@ -1,0 +1,505 @@
+#include "proto/controller.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "comdes/metamodel.hpp"
+#include "core/names.hpp"
+#include "core/session.hpp"
+#include "expr/parser.hpp"
+
+namespace gmdf::proto {
+
+namespace {
+
+constexpr std::size_t kMaxQueuedEvents = 4096;
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> out;
+    std::string line;
+    for (char c : text) {
+        if (c == '\n') {
+            out.push_back(line);
+            line.clear();
+        } else {
+            line.push_back(c);
+        }
+    }
+    if (!line.empty()) out.push_back(line);
+    return out;
+}
+
+Response bad_args(const std::string& usage) {
+    return Response::make_error(ErrorCode::BadArgument, "usage: " + usage);
+}
+
+/// Parses a finite number token in full; nullopt on junk (incl. nan/inf).
+std::optional<double> parse_number(const std::string& token) {
+    if (token.empty()) return std::nullopt;
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) return std::nullopt;
+    return v;
+}
+
+/// Parses a non-negative integer token in full; nullopt on junk —
+/// including fractional input, so "remove 1.9" cannot silently act on
+/// breakpoint 1.
+std::optional<std::uint64_t> parse_index(const std::string& token) {
+    if (token.empty()) return std::nullopt;
+    std::uint64_t v = 0;
+    for (char c : token) {
+        if (c < '0' || c > '9') return std::nullopt;
+        auto digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            return std::nullopt; // overflow would wrap to a different index
+        v = v * 10 + digit;
+    }
+    return v;
+}
+
+/// The COMDES metaclass to resolve against, or null for generic models.
+const meta::MetaClass* comdes_class(const meta::Model& design,
+                                    const meta::MetaClass* cls) {
+    const auto& c = comdes::comdes_metamodel();
+    return &design.metamodel() == &c.mm ? cls : nullptr;
+}
+
+/// Resolves an element argument: "#<id>" (any model) or a name looked up
+/// under `cls` (COMDES models; any named element when cls is null).
+const meta::MObject* resolve_element(const meta::Model& design,
+                                     const meta::MetaClass* cls,
+                                     const std::string& token) {
+    if (!token.empty() && token.front() == '#') {
+        auto raw = parse_index(token.substr(1));
+        if (!raw.has_value()) return nullptr;
+        const meta::MObject* obj = design.get(meta::ObjectId{*raw});
+        if (obj != nullptr && cls != nullptr && !obj->meta_class().is_subtype_of(*cls))
+            return nullptr;
+        return obj;
+    }
+    if (cls != nullptr) return design.find_named(*cls, token);
+    for (meta::ObjectId id : design.ids()) {
+        const meta::MObject& obj = design.at(id);
+        if (obj.name() == token) return &obj;
+    }
+    return nullptr;
+}
+
+std::string breakpoint_line(const meta::Model& design, int handle,
+                            const core::Breakpoint& bp) {
+    std::ostringstream os;
+    os << "breakpoint " << handle << " " << core::to_string(bp.kind) << " ";
+    if (bp.kind == core::Breakpoint::Kind::SignalPredicate)
+        os << quote_token(bp.predicate);
+    else
+        os << core::element_label(design, bp.element.raw);
+    if (!bp.enabled) os << " disabled";
+    if (bp.one_shot) os << " once";
+    return os.str();
+}
+
+} // namespace
+
+SessionController::SessionController(core::DebugSession& session) : session_(&session) {
+    register_verbs();
+    session_->engine().add_observer(this);
+}
+
+SessionController::~SessionController() { session_->engine().remove_observer(this); }
+
+void SessionController::register_verbs() {
+    auto bind = [this](Response (SessionController::*fn)(const Request&)) {
+        return [this, fn](const Request& req) { return (this->*fn)(req); };
+    };
+    dispatcher_.add({"help", "help [verb]", "list commands (or one verb's forms)",
+                     bind(&SessionController::cmd_help)});
+    dispatcher_.add({"info", "info", "session summary: model, GDM, engine, transports",
+                     bind(&SessionController::cmd_info)});
+    dispatcher_.add({"run", "run <ms>", "advance the attached target by <ms> milliseconds",
+                     bind(&SessionController::cmd_run)});
+    dispatcher_.add({"pause", "pause", "halt the target at the next opportunity",
+                     bind(&SessionController::cmd_pause)});
+    dispatcher_.add({"resume", "resume", "resume a paused target",
+                     bind(&SessionController::cmd_resume)});
+    dispatcher_.add({"step", "step [actor]",
+                     "run one task release then pause again; [actor] also sets the "
+                     "step filter (see step-filter)",
+                     bind(&SessionController::cmd_step)});
+    dispatcher_.add({"step-filter", "step-filter [actor]",
+                     "restrict stepping to one actor (no arg: any)",
+                     bind(&SessionController::cmd_step_filter)});
+    dispatcher_.add({"break", "break add state|transition <element> [once]",
+                     "pause when the state is entered / the transition fires",
+                     bind(&SessionController::cmd_break)});
+    dispatcher_.add({"break", "break add signal <predicate> [once]",
+                     "pause when the signal expression becomes true", nullptr});
+    dispatcher_.add({"break", "break remove <handle>", "delete one breakpoint", nullptr});
+    dispatcher_.add({"break", "break list", "list breakpoints", nullptr});
+    dispatcher_.add({"query", "query signal <name>", "last observed value of a signal",
+                     bind(&SessionController::cmd_query)});
+    dispatcher_.add({"query", "query state <machine>",
+                     "current state of a state machine", nullptr});
+    dispatcher_.add({"query", "query stats", "engine, protocol, and transport counters",
+                     nullptr});
+    dispatcher_.add({"query", "query divergences",
+                     "model/implementation divergences detected so far", nullptr});
+    dispatcher_.add({"render", "render ascii|svg", "render the current animation frame",
+                     bind(&SessionController::cmd_render)});
+    dispatcher_.add({"trace", "trace vcd|timing [columns]",
+                     "export the recorded trace (VCD dump / ASCII timing diagram)",
+                     bind(&SessionController::cmd_trace)});
+    dispatcher_.add({"replay", "replay [stride]",
+                     "re-animate the recorded trace; shows the final frame",
+                     bind(&SessionController::cmd_replay)});
+    dispatcher_.add({"quit", "quit", "end the session",
+                     bind(&SessionController::cmd_quit)});
+}
+
+Response SessionController::execute(const Request& req) {
+    session_->engine().note_request();
+    Response resp = dispatcher_.dispatch(req);
+    if (!resp.ok()) session_->engine().note_request_error();
+    return resp;
+}
+
+Response SessionController::execute_line(std::string_view line) {
+    ParseResult parsed = parse_request(line);
+    if (!parsed.ok()) {
+        session_->engine().note_request();
+        session_->engine().note_request_error();
+        return Response::make_error(ErrorCode::BadRequest, parsed.error);
+    }
+    return execute(*parsed.request);
+}
+
+std::vector<Event> SessionController::drain_events() {
+    std::vector<Event> out(events_.begin(), events_.end());
+    events_.clear();
+    return out;
+}
+
+void SessionController::push_event(Event ev) {
+    if (events_.size() >= kMaxQueuedEvents) {
+        events_.pop_front();
+        ++dropped_events_;
+    }
+    events_.push_back(std::move(ev));
+    session_->engine().note_event();
+}
+
+void SessionController::on_breakpoint_hit(int handle, const core::Breakpoint& bp,
+                                          const link::Command& cmd, rt::SimTime t) {
+    std::ostringstream os;
+    os << "handle=" << handle << " " << core::to_string(bp.kind) << " ";
+    if (bp.kind == core::Breakpoint::Kind::SignalPredicate)
+        os << quote_token(bp.predicate);
+    else
+        os << core::element_label(session_->design(), bp.element.raw);
+    os << " cmd=" << cmd.to_string();
+    push_event({Event::Kind::BreakpointHit, t, os.str()});
+}
+
+void SessionController::on_divergence(const core::Divergence& d) {
+    push_event({Event::Kind::Divergence, d.t, d.message});
+}
+
+void SessionController::on_state_change(core::EngineState from, core::EngineState to) {
+    push_event({Event::Kind::StateChange, std::nullopt,
+                std::string(core::to_string(from)) + " -> " + core::to_string(to)});
+}
+
+// ---- handlers ---------------------------------------------------------------
+
+Response SessionController::cmd_help(const Request& req) {
+    if (req.args.size() > 1) return bad_args("help [verb]");
+    if (req.args.empty()) return Response::make_ok(dispatcher_.help_lines());
+    auto lines = dispatcher_.help_lines(req.args[0]);
+    if (lines.empty())
+        return Response::make_error(ErrorCode::NotFound,
+                                    "no verb '" + req.args[0] + "'");
+    return Response::make_ok(std::move(lines));
+}
+
+Response SessionController::cmd_info(const Request& req) {
+    if (!req.args.empty()) return bad_args("info");
+    const auto& design = session_->design();
+    const auto& abs = session_->abstraction();
+    std::vector<std::string> body;
+    std::string model_name = "(unnamed)";
+    for (meta::ObjectId id : design.ids()) {
+        if (design.container_of(id) == nullptr && !design.at(id).name().empty()) {
+            model_name = design.at(id).name();
+            break;
+        }
+    }
+    body.push_back("model " + model_name);
+    body.push_back("elements " + std::to_string(design.size()));
+    body.push_back("gdm nodes=" + std::to_string(abs.mapped_nodes) +
+                   " edges=" + std::to_string(abs.mapped_edges));
+    body.push_back(std::string("engine ") + core::to_string(session_->engine().state()));
+    std::string transports;
+    for (const auto& t : session_->transports()) {
+        if (!transports.empty()) transports += ",";
+        transports += t->name();
+    }
+    body.push_back("transports " + (transports.empty() ? "(none)" : transports));
+    body.push_back("breakpoints " + std::to_string(session_->engine().breakpoints().size()));
+    const auto& filter = session_->engine().step_filter();
+    body.push_back("step-filter " + (filter.any() ? "any" : filter.actor));
+    return Response::make_ok(std::move(body));
+}
+
+Response SessionController::cmd_run(const Request& req) {
+    if (req.args.size() != 1) return bad_args("run <ms>");
+    auto ms = parse_number(req.args[0]);
+    // The upper bound keeps ms * 1e6 representable as SimTime ns — a
+    // float-to-int cast out of range is UB, not a saturation.
+    if (!ms.has_value() || *ms <= 0 ||
+        *ms * 1e6 >= static_cast<double>(std::numeric_limits<rt::SimTime>::max()))
+        return Response::make_error(ErrorCode::BadArgument,
+                                    "'" + req.args[0] + "' is not a positive duration");
+    if (!run_hook_)
+        return Response::make_error(ErrorCode::BadState,
+                                    "no target clock attached (run hook unset)");
+    run_hook_(static_cast<rt::SimTime>(*ms * 1e6));
+    return Response::make_ok(
+        {"ran " + req.args[0] + " ms",
+         std::string("engine ") + core::to_string(session_->engine().state())});
+}
+
+Response SessionController::cmd_pause(const Request& req) {
+    if (!req.args.empty()) return bad_args("pause");
+    if (session_->engine().state() == core::EngineState::Paused)
+        return Response::make_error(ErrorCode::BadState, "already paused");
+    session_->engine().pause();
+    return Response::make_ok({"engine paused"});
+}
+
+Response SessionController::cmd_resume(const Request& req) {
+    if (!req.args.empty()) return bad_args("resume");
+    if (session_->engine().state() != core::EngineState::Paused)
+        return Response::make_error(ErrorCode::BadState, "not paused");
+    session_->engine().resume();
+    return Response::make_ok({"engine animating"});
+}
+
+Response SessionController::cmd_step(const Request& req) {
+    if (req.args.size() > 1) return bad_args("step [actor]");
+    if (session_->engine().state() != core::EngineState::Paused)
+        return Response::make_error(ErrorCode::BadState,
+                                    "not paused (set a breakpoint or 'pause' first)");
+    if (!req.args.empty()) session_->engine().set_step_filter({req.args[0]});
+    session_->engine().step();
+    const auto& filter = session_->engine().step_filter();
+    return Response::make_ok(
+        {"stepping " + (filter.any() ? "any task" : filter.actor)});
+}
+
+Response SessionController::cmd_step_filter(const Request& req) {
+    if (req.args.size() > 1) return bad_args("step-filter [actor]");
+    session_->engine().set_step_filter(
+        req.args.empty() ? link::StepFilter{} : link::StepFilter{req.args[0]});
+    const auto& filter = session_->engine().step_filter();
+    return Response::make_ok({"step-filter " + (filter.any() ? "any" : filter.actor)});
+}
+
+Response SessionController::cmd_break(const Request& req) {
+    const auto& design = session_->design();
+    auto& engine = session_->engine();
+    const auto& c = comdes::comdes_metamodel();
+    if (req.args.empty())
+        return bad_args("break add|remove|list ...");
+    const std::string& sub = req.args[0];
+
+    if (sub == "list") {
+        if (req.args.size() != 1) return bad_args("break list");
+        std::vector<std::string> body;
+        for (const auto& [handle, bp] : engine.breakpoints())
+            body.push_back(breakpoint_line(design, handle, bp));
+        if (body.empty()) body.push_back("(no breakpoints)");
+        return Response::make_ok(std::move(body));
+    }
+
+    if (sub == "remove") {
+        if (req.args.size() != 2) return bad_args("break remove <handle>");
+        auto handle = parse_index(req.args[1]);
+        if (!handle.has_value())
+            return Response::make_error(ErrorCode::BadArgument,
+                                        "'" + req.args[1] + "' is not a handle");
+        if (*handle > static_cast<std::uint64_t>(std::numeric_limits<int>::max()) ||
+            !engine.remove_breakpoint(static_cast<int>(*handle)))
+            return Response::make_error(ErrorCode::NotFound,
+                                        "no breakpoint " + req.args[1]);
+        return Response::make_ok({"breakpoint " + req.args[1] + " removed"});
+    }
+
+    if (sub == "add") {
+        if (req.args.size() < 3 || req.args.size() > 4 ||
+            (req.args.size() == 4 && req.args[3] != "once"))
+            return bad_args("break add state|transition|signal <target> [once]");
+        const std::string& kind = req.args[1];
+        const std::string& target = req.args[2];
+        bool once = req.args.size() == 4;
+        core::Breakpoint bp;
+        bp.one_shot = once;
+        if (kind == "state" || kind == "transition") {
+            const meta::MetaClass* cls =
+                comdes_class(design, kind == "state" ? c.state : c.transition);
+            const meta::MObject* obj = resolve_element(design, cls, target);
+            if (obj == nullptr)
+                return Response::make_error(ErrorCode::NotFound,
+                                            "no " + kind + " '" + target + "'");
+            bp.kind = kind == "state" ? core::Breakpoint::Kind::StateEnter
+                                      : core::Breakpoint::Kind::TransitionFired;
+            bp.element = obj->id();
+        } else if (kind == "signal") {
+            try {
+                (void)expr::parse(target);
+            } catch (const std::exception& e) {
+                return Response::make_error(ErrorCode::BadArgument,
+                                            std::string("bad predicate: ") + e.what());
+            }
+            bp.kind = core::Breakpoint::Kind::SignalPredicate;
+            bp.predicate = target;
+        } else {
+            return bad_args("break add state|transition|signal <target> [once]");
+        }
+        int handle = engine.add_breakpoint(bp);
+        return Response::make_ok({breakpoint_line(design, handle, bp)});
+    }
+
+    return bad_args("break add|remove|list ...");
+}
+
+Response SessionController::cmd_query(const Request& req) {
+    const auto& design = session_->design();
+    const auto& engine = session_->engine();
+    const auto& c = comdes::comdes_metamodel();
+    if (req.args.empty()) return bad_args("query signal|state|stats|divergences ...");
+    const std::string& sub = req.args[0];
+
+    if (sub == "signal") {
+        if (req.args.size() != 2) return bad_args("query signal <name>");
+        const meta::MObject* sig =
+            resolve_element(design, comdes_class(design, c.signal), req.args[1]);
+        if (sig == nullptr)
+            return Response::make_error(ErrorCode::NotFound,
+                                        "no signal '" + req.args[1] + "'");
+        std::string label = core::element_label(design, sig->id().raw);
+        auto value = engine.signal_value(sig->id());
+        if (!value.has_value())
+            return Response::make_ok({"signal " + label + " unobserved"});
+        return Response::make_ok({"signal " + label + " = " + core::value_label(*value)});
+    }
+
+    if (sub == "state") {
+        if (req.args.size() != 2) return bad_args("query state <machine>");
+        const meta::MObject* sm =
+            resolve_element(design, comdes_class(design, c.sm_fb), req.args[1]);
+        if (sm == nullptr)
+            return Response::make_error(ErrorCode::NotFound,
+                                        "no state machine '" + req.args[1] + "'");
+        std::string label = core::element_label(design, sm->id().raw);
+        auto state = engine.current_state(sm->id());
+        if (!state.has_value())
+            return Response::make_ok({"machine " + label + " unobserved"});
+        return Response::make_ok({"machine " + label + " in " +
+                                  core::element_label(design, state->raw)});
+    }
+
+    if (sub == "stats") {
+        if (req.args.size() != 1) return bad_args("query stats");
+        const auto& s = engine.stats();
+        std::vector<std::string> body = {
+            "commands " + std::to_string(s.commands),
+            "reactions " + std::to_string(s.reactions),
+            "breakpoints-hit " + std::to_string(s.breakpoints_hit),
+            "divergences " + std::to_string(s.divergences),
+            "requests " + std::to_string(s.requests),
+            "request-errors " + std::to_string(s.request_errors),
+            "events-emitted " + std::to_string(s.events_emitted),
+            "events-dropped " + std::to_string(dropped_events_),
+        };
+        for (const auto& t : session_->transports()) {
+            const auto ts = t->stats();
+            body.push_back(std::string("transport ") + t->name() + " commands=" +
+                           std::to_string(ts.commands) + " corrupt=" +
+                           std::to_string(ts.corrupt_frames) + " polls=" +
+                           std::to_string(ts.polls));
+        }
+        return Response::make_ok(std::move(body));
+    }
+
+    if (sub == "divergences") {
+        if (req.args.size() != 1) return bad_args("query divergences");
+        const auto& divs = session_->divergences();
+        std::vector<std::string> body = {"divergences " + std::to_string(divs.size())};
+        for (const auto& d : divs)
+            body.push_back("@" + std::to_string(d.t) + "ns " + d.message);
+        return Response::make_ok(std::move(body));
+    }
+
+    return bad_args("query signal|state|stats|divergences ...");
+}
+
+Response SessionController::cmd_render(const Request& req) {
+    if (req.args.size() != 1) return bad_args("render ascii|svg");
+    if (req.args[0] == "ascii")
+        return Response::make_ok(split_lines(session_->render_ascii()));
+    if (req.args[0] == "svg")
+        return Response::make_ok(split_lines(session_->render_svg()));
+    return bad_args("render ascii|svg");
+}
+
+Response SessionController::cmd_trace(const Request& req) {
+    if (req.args.empty()) return bad_args("trace vcd|timing [columns]");
+    if (req.args[0] == "vcd") {
+        if (req.args.size() != 1) return bad_args("trace vcd");
+        return Response::make_ok(split_lines(session_->vcd()));
+    }
+    if (req.args[0] == "timing") {
+        if (req.args.size() > 2) return bad_args("trace timing [columns]");
+        std::size_t columns = 64;
+        if (req.args.size() == 2) {
+            auto n = parse_index(req.args[1]);
+            if (!n.has_value() || *n < 8)
+                return Response::make_error(ErrorCode::BadArgument,
+                                            "'" + req.args[1] +
+                                                "' is not a column count (>= 8)");
+            columns = static_cast<std::size_t>(*n);
+        }
+        return Response::make_ok(
+            split_lines(session_->timing_diagram().render_ascii(columns)));
+    }
+    return bad_args("trace vcd|timing [columns]");
+}
+
+Response SessionController::cmd_replay(const Request& req) {
+    if (req.args.size() > 1) return bad_args("replay [stride]");
+    std::size_t stride = 1;
+    if (!req.args.empty()) {
+        auto n = parse_index(req.args[0]);
+        if (!n.has_value() || *n < 1)
+            return Response::make_error(ErrorCode::BadArgument,
+                                        "'" + req.args[0] + "' is not a stride (>= 1)");
+        stride = static_cast<std::size_t>(*n);
+    }
+    auto frames = session_->replay_frames(stride);
+    std::vector<std::string> body = {"replay " + std::to_string(frames.size()) +
+                                     " frames (stride " + std::to_string(stride) + ")"};
+    if (!frames.empty()) {
+        auto last = split_lines(frames.back());
+        body.insert(body.end(), last.begin(), last.end());
+    }
+    return Response::make_ok(std::move(body));
+}
+
+Response SessionController::cmd_quit(const Request& req) {
+    if (!req.args.empty()) return bad_args("quit");
+    return Response::make_ok({"bye"});
+}
+
+} // namespace gmdf::proto

@@ -1,0 +1,44 @@
+#include "proto/dispatcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gmdf::proto {
+
+void Dispatcher::add(CommandSpec spec) { commands_.push_back(std::move(spec)); }
+
+std::vector<std::string> Dispatcher::verbs() const {
+    std::vector<std::string> out;
+    for (const CommandSpec& c : commands_)
+        if (std::find(out.begin(), out.end(), c.verb) == out.end()) out.push_back(c.verb);
+    return out;
+}
+
+std::vector<std::string> Dispatcher::help_lines(std::string_view verb) const {
+    std::vector<std::string> out;
+    for (const CommandSpec& c : commands_)
+        if (verb.empty() || c.verb == verb) out.push_back(c.usage + " -- " + c.summary);
+    return out;
+}
+
+Response Dispatcher::dispatch(const Request& req) const {
+    const CommandSpec* match = nullptr;
+    for (const CommandSpec& c : commands_)
+        if (c.verb == req.verb && c.handler != nullptr) {
+            match = &c;
+            break;
+        }
+    if (match == nullptr)
+        return Response::make_error(ErrorCode::UnknownVerb,
+                                    "unknown verb '" + req.verb + "' (try 'help')");
+    try {
+        return match->handler(req);
+    } catch (const std::exception& e) {
+        return Response::make_error(ErrorCode::Internal,
+                                    req.verb + " failed: " + e.what());
+    } catch (...) {
+        return Response::make_error(ErrorCode::Internal, req.verb + " failed");
+    }
+}
+
+} // namespace gmdf::proto

@@ -1,0 +1,56 @@
+// The protocol command registry: verbs -> handlers.
+//
+// A Dispatcher is a plain table, deliberately ignorant of what the
+// handlers do: the session controller registers the debugger verbs, and
+// anything else (a future remote server, a test harness) can add its
+// own. The registry is also the single source of the `help` listing, so
+// documentation cannot drift from what is actually dispatchable.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proto/message.hpp"
+
+namespace gmdf::proto {
+
+/// Handler for one verb. Receives the full request (verb included);
+/// must not throw — report failures as error Responses.
+using Handler = std::function<Response(const Request&)>;
+
+/// One registry row. Several rows may share a verb to document
+/// subcommands separately (`break add ...` / `break remove <handle>`);
+/// dispatch uses the first row with a non-null handler for the verb.
+struct CommandSpec {
+    std::string verb;
+    std::string usage;   ///< e.g. "step [actor]"
+    std::string summary; ///< one-line human description
+    Handler handler;     ///< null for doc-only rows
+};
+
+class Dispatcher {
+public:
+    /// Appends a registry row (registration order = help order).
+    void add(CommandSpec spec);
+
+    /// All registry rows, in registration order.
+    [[nodiscard]] const std::vector<CommandSpec>& commands() const { return commands_; }
+
+    /// Distinct verbs, in first-registration order.
+    [[nodiscard]] std::vector<std::string> verbs() const;
+
+    /// The machine-readable help listing: "<usage> -- <summary>" per row,
+    /// optionally restricted to one verb.
+    [[nodiscard]] std::vector<std::string> help_lines(std::string_view verb = {}) const;
+
+    /// Routes a request to its handler. Unknown verbs and handler
+    /// exceptions come back as error Responses, never as C++ exceptions.
+    [[nodiscard]] Response dispatch(const Request& req) const;
+
+private:
+    std::vector<CommandSpec> commands_;
+};
+
+} // namespace gmdf::proto

@@ -1,0 +1,158 @@
+#include "proto/message.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace gmdf::proto {
+
+const char* to_string(ErrorCode code) {
+    switch (code) {
+    case ErrorCode::None: return "ok";
+    case ErrorCode::BadRequest: return "bad-request";
+    case ErrorCode::UnknownVerb: return "unknown-verb";
+    case ErrorCode::BadArgument: return "bad-argument";
+    case ErrorCode::NotFound: return "not-found";
+    case ErrorCode::BadState: return "bad-state";
+    case ErrorCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+const char* to_string(Event::Kind kind) {
+    switch (kind) {
+    case Event::Kind::BreakpointHit: return "breakpoint-hit";
+    case Event::Kind::Divergence: return "divergence";
+    case Event::Kind::StateChange: return "state-change";
+    }
+    return "?";
+}
+
+namespace {
+
+ParseResult parse_error(std::string message) {
+    ParseResult r;
+    r.error = std::move(message);
+    return r;
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+} // namespace
+
+ParseResult parse_request(std::string_view line) {
+    std::vector<std::string> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        if (is_space(line[i])) {
+            ++i;
+            continue;
+        }
+        std::string token;
+        if (line[i] == '"') {
+            ++i;
+            bool closed = false;
+            while (i < line.size()) {
+                char c = line[i];
+                if (c == '"') {
+                    closed = true;
+                    ++i;
+                    break;
+                }
+                if (c == '\\') {
+                    if (i + 1 >= line.size())
+                        return parse_error("dangling escape at end of line");
+                    char esc = line[i + 1];
+                    switch (esc) {
+                    case '"': token.push_back('"'); break;
+                    case '\\': token.push_back('\\'); break;
+                    case 'n': token.push_back('\n'); break;
+                    case 't': token.push_back('\t'); break;
+                    default:
+                        return parse_error(std::string("bad escape '\\") + esc + "'");
+                    }
+                    i += 2;
+                    continue;
+                }
+                token.push_back(c);
+                ++i;
+            }
+            if (!closed) return parse_error("unterminated quote");
+            if (i < line.size() && !is_space(line[i]))
+                return parse_error("text after closing quote");
+        } else {
+            while (i < line.size() && !is_space(line[i])) {
+                if (line[i] == '"') return parse_error("quote inside bare token");
+                token.push_back(line[i]);
+                ++i;
+            }
+        }
+        tokens.push_back(std::move(token));
+    }
+    if (tokens.empty()) return parse_error("empty request");
+    Request req;
+    req.verb = std::move(tokens.front());
+    req.args.assign(std::make_move_iterator(tokens.begin() + 1),
+                    std::make_move_iterator(tokens.end()));
+    ParseResult r;
+    r.request = std::move(req);
+    return r;
+}
+
+std::string quote_token(std::string_view token) {
+    bool needs_quotes = token.empty();
+    for (char c : token)
+        if (is_space(c) || c == '"' || c == '\\' || c == '\n' || c == '\t')
+            needs_quotes = true;
+    if (!needs_quotes) return std::string(token);
+    std::string out = "\"";
+    for (char c : token) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string format_request(const Request& req) {
+    std::string out = quote_token(req.verb);
+    for (const std::string& arg : req.args) {
+        out.push_back(' ');
+        out += quote_token(arg);
+    }
+    return out;
+}
+
+std::string format_response(const Response& resp) {
+    std::string out;
+    if (resp.ok()) {
+        out = "ok\n";
+        for (const std::string& line : resp.body) {
+            out += "| ";
+            out += line;
+            out.push_back('\n');
+        }
+    } else {
+        out = "error ";
+        out += to_string(resp.code);
+        out += ": ";
+        out += resp.message;
+        out.push_back('\n');
+    }
+    return out;
+}
+
+std::string format_event(const Event& ev) {
+    std::ostringstream os;
+    os << "* " << to_string(ev.kind);
+    if (ev.t.has_value()) os << " @" << *ev.t << "ns";
+    if (!ev.detail.empty()) os << " " << ev.detail;
+    os << "\n";
+    return os.str();
+}
+
+} // namespace gmdf::proto

@@ -1,0 +1,97 @@
+#include "proto/scenarios.hpp"
+
+#include "comdes/validate.hpp"
+#include "core/builder.hpp"
+#include "core/transports.hpp"
+#include "meta/diagnostics.hpp"
+
+namespace gmdf::proto {
+
+namespace {
+
+// The quickstart blinker: one actor, a two-state toggler driving a LED.
+void build_blinker(comdes::SystemBuilder& sys) {
+    auto led = sys.add_signal("led", "bool_");
+    auto actor = sys.add_actor("blinker", /*period_us=*/100'000); // 10 Hz
+    auto sm = actor.add_sm("toggler", {"tick"}, {"out"});
+    auto off = sm.add_state("off", {{"out", "0"}});
+    auto on = sm.add_state("on", {{"out", "1"}});
+    sm.add_transition(off, on, "tick");
+    sm.add_transition(on, off, "tick");
+    auto one = actor.add_basic("one", "const_", {1.0});
+    actor.connect(one, "out", sm.sm_id(), "tick");
+    actor.bind_output(sm.sm_id(), "out", led);
+}
+
+// The two-node production cell: sequencing SM on node 0, motor ramp on
+// node 1, with the part/position stimuli scheduled on the target clock.
+void build_turntable(Scenario& s) {
+    auto& sys = s.sys;
+    auto part_present = sys.add_signal("part_present", "bool_");
+    auto at_position = sys.add_signal("at_position", "bool_");
+    auto rotate_cmd = sys.add_signal("rotate_cmd", "real_");
+    auto drill_cmd = sys.add_signal("drill_cmd", "bool_");
+    auto motor = sys.add_signal("motor", "real_");
+
+    auto ctl = sys.add_actor("controller", 20'000, 0, /*node=*/0);
+    auto sm = ctl.add_sm("sequencer", {"part", "in_pos"}, {"rotate", "drill"});
+    auto s_idle = sm.add_state("idle", {{"rotate", "0"}, {"drill", "0"}});
+    auto s_rotating = sm.add_state("rotating", {{"rotate", "0.8"}});
+    auto s_drilling = sm.add_state("drilling", {{"rotate", "0"}, {"drill", "1"}});
+    auto s_retract = sm.add_state("retracting", {{"drill", "0"}});
+    sm.add_transition(s_idle, s_rotating, "part");
+    sm.add_transition(s_rotating, s_drilling, "in_pos");
+    sm.add_transition(s_drilling, s_retract);
+    sm.add_transition(s_retract, s_idle, "", "!part");
+    ctl.bind_input(part_present, sm.sm_id(), "part");
+    ctl.bind_input(at_position, sm.sm_id(), "in_pos");
+    ctl.bind_output(sm.sm_id(), "rotate", rotate_cmd);
+    ctl.bind_output(sm.sm_id(), "drill", drill_cmd);
+
+    auto drive = sys.add_actor("drive", 10'000, 0, /*node=*/1);
+    auto ramp = drive.add_basic("ramp", "ratelimit_", {2.0});
+    drive.bind_input(rotate_cmd, ramp, "in");
+    drive.bind_output(ramp, "out", motor);
+
+    s.target.set_network_latency(500 * rt::kUs);
+    // Environment: a part arrives, then the table reaches position. The
+    // callbacks read s.loaded lazily — it is filled right after this
+    // builder returns, well before the first event fires.
+    auto publish = [&s](meta::ObjectId sig, double v, rt::SimTime at) {
+        s.target.sim().at(at, [&s, sig, v] {
+            s.target.node(0).publish_signal(s.loaded.signal_index.at(sig.raw), v);
+        });
+    };
+    publish(part_present, 1.0, 50 * rt::kMs);
+    publish(at_position, 1.0, 200 * rt::kMs);
+}
+
+} // namespace
+
+std::vector<std::string> scenario_names() { return {"blinker", "turntable"}; }
+
+std::unique_ptr<Scenario> make_scenario(std::string_view name) {
+    auto scenario = std::make_unique<Scenario>(std::string(name));
+    if (name == "blinker")
+        build_blinker(scenario->sys);
+    else if (name == "turntable")
+        build_turntable(*scenario);
+    else
+        return nullptr;
+
+    if (!meta::is_clean(comdes::validate_comdes(scenario->sys.model()))) return nullptr;
+
+    scenario->loaded = codegen::load_system(scenario->target, scenario->sys.model(),
+                                            codegen::InstrumentOptions::active());
+    scenario->session = core::SessionBuilder(scenario->sys.model())
+                            .bindings(core::CommandBindingTable::defaults())
+                            .active_uart(scenario->target)
+                            .build();
+    rt::Target& target = scenario->target;
+    scenario->controller().set_run_hook(
+        [&target](rt::SimTime duration) { target.run_for(duration); });
+    target.start();
+    return scenario;
+}
+
+} // namespace gmdf::proto

@@ -1,0 +1,49 @@
+// Self-contained demo scenarios the protocol layer can drive.
+//
+// Each scenario bundles a COMDES design model, a simulated target with
+// the generated code loaded (active command interface), a DebugSession
+// attached over UART, and the session's controller with the run hook
+// bound to the target clock. gmdf_dbg serves these from the command
+// line; the golden-transcript tests run the same objects in-process, so
+// the CLI and the test fixtures cannot diverge.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codegen/loader.hpp"
+#include "comdes/build.hpp"
+#include "core/session.hpp"
+#include "proto/controller.hpp"
+#include "rt/target.hpp"
+
+namespace gmdf::proto {
+
+/// One ready-to-drive debug scenario. Construction order matters: the
+/// model outlives the session, the target outlives its transport.
+struct Scenario {
+    std::string name;
+    comdes::SystemBuilder sys;
+    rt::Target target;
+    codegen::LoadedSystem loaded;
+    std::unique_ptr<core::DebugSession> session;
+
+    explicit Scenario(std::string scenario_name)
+        : name(std::move(scenario_name)), sys(name + "_system") {}
+
+    /// The session's controller (run hook already bound to the target).
+    [[nodiscard]] SessionController& controller() { return session->controller(); }
+};
+
+/// Names servable by make_scenario, in listing order.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Builds a scenario by name ("blinker": the quickstart toggler;
+/// "turntable": the two-node production cell with scheduled stimuli).
+/// Returns null for unknown names. The target is started; drive it with
+/// the `run` verb.
+[[nodiscard]] std::unique_ptr<Scenario> make_scenario(std::string_view name);
+
+} // namespace gmdf::proto

@@ -1,0 +1,48 @@
+#include "proto/script.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace gmdf::proto {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+        s.remove_suffix(1);
+    return s;
+}
+
+} // namespace
+
+ScriptResult run_script(SessionController& controller, std::istream& in,
+                        std::ostream& out, const ScriptOptions& options) {
+    ScriptResult result;
+    std::string raw;
+    while (true) {
+        if (!options.prompt.empty()) out << options.prompt << std::flush;
+        if (!std::getline(in, raw)) break;
+        std::string_view line = trim(raw);
+        if (line.empty()) continue;
+        if (line.front() == '#') {
+            if (options.echo) out << line << "\n";
+            continue;
+        }
+        if (options.echo) out << "> " << line << "\n";
+        bool is_quit = line == "quit" || line == "exit";
+        Response resp = controller.execute_line(is_quit ? "quit" : line);
+        ++result.requests;
+        if (!resp.ok()) ++result.errors;
+        out << format_response(resp);
+        for (const Event& ev : controller.drain_events()) out << format_event(ev);
+        if (is_quit) {
+            result.quit = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace gmdf::proto

@@ -1,0 +1,39 @@
+// Script/REPL driver shared by the gmdf_dbg tool and the golden tests.
+//
+// Reads request lines from a stream, executes them against a
+// SessionController, and writes the transcript — echoed commands,
+// responses, and any asynchronous events queued while a command ran —
+// to an output stream. Deterministic input therefore yields a
+// byte-stable transcript, which is what makes whole debug scenarios
+// usable as text fixtures.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "proto/controller.hpp"
+
+namespace gmdf::proto {
+
+struct ScriptOptions {
+    /// Echo each executed line as "> <line>" and pass comment lines
+    /// through (script/transcript mode). Off for interactive REPLs.
+    bool echo = true;
+    /// Printed before reading each line (interactive mode); no trailing
+    /// newline is added.
+    std::string prompt;
+};
+
+struct ScriptResult {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    bool quit = false; ///< the script ended with quit/exit
+};
+
+/// Runs lines from `in` until EOF or quit. Blank lines are skipped;
+/// lines starting with '#' are comments (echoed in script mode).
+ScriptResult run_script(SessionController& controller, std::istream& in,
+                        std::ostream& out, const ScriptOptions& options = {});
+
+} // namespace gmdf::proto

@@ -1,0 +1,76 @@
+// gmdf_dbg — the scriptable debugger driver.
+//
+// Serves the GMDF protocol over stdin/stdout against a built-in demo
+// scenario: an interactive REPL by default, or batch execution of a
+// scenario script (one request per line) with --script. Script mode
+// echoes every command into the transcript, so a run is a byte-stable
+// text fixture:
+//
+//   ./gmdf_dbg                                  # REPL on the blinker
+//   ./gmdf_dbg --model turntable                # REPL on the turntable
+//   ./gmdf_dbg --script examples/quickstart.gds # scripted scenario
+//
+// Exit status: 0 when every request succeeded, 1 on any error response,
+// 2 on bad usage.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "proto/scenarios.hpp"
+#include "proto/script.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+    out << "usage: gmdf_dbg [--model <name>] [--script <file>]\n\n"
+        << "Drives a GMDF debug session over the text protocol.\n"
+        << "  --model <name>   built-in scenario to serve:";
+    for (const std::string& name : gmdf::proto::scenario_names()) out << " " << name;
+    out << " (default blinker)\n"
+        << "  --script <file>  run the script instead of an interactive REPL\n"
+        << "  --help           this text\n";
+    return code;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string model = "blinker";
+    std::string script_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+        if (arg == "--model" && i + 1 < argc) {
+            model = argv[++i];
+        } else if (arg == "--script" && i + 1 < argc) {
+            script_path = argv[++i];
+        } else {
+            std::cerr << "gmdf_dbg: unknown argument '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        }
+    }
+
+    auto scenario = gmdf::proto::make_scenario(model);
+    if (scenario == nullptr) {
+        std::cerr << "gmdf_dbg: no scenario '" << model << "'\n";
+        return usage(std::cerr, 2);
+    }
+
+    if (!script_path.empty()) {
+        std::ifstream script(script_path);
+        if (!script) {
+            std::cerr << "gmdf_dbg: cannot open script '" << script_path << "'\n";
+            return 2;
+        }
+        auto result = gmdf::proto::run_script(scenario->controller(), script, std::cout,
+                                              {/*echo=*/true, /*prompt=*/""});
+        return result.errors == 0 ? 0 : 1;
+    }
+
+    std::cout << "gmdf_dbg: scenario '" << scenario->name
+              << "' attached over the active command interface ('help' lists verbs)\n";
+    auto result = gmdf::proto::run_script(scenario->controller(), std::cin, std::cout,
+                                          {/*echo=*/false, /*prompt=*/"gmdf> "});
+    if (!result.quit) std::cout << "\n";
+    return result.errors == 0 ? 0 : 1;
+}

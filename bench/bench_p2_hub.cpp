@@ -1,0 +1,65 @@
+// P2 — hub overhead at 1, 8, and 64 concurrent sessions.
+//
+// The hub should scale linearly in hosted sessions: request routing is
+// a name/id lookup plus the single-session dispatch cost, and one poll
+// loop round costs one bounded time slice per live session. These
+// benchmarks price both paths against fleets of live blinker scenarios:
+// requests/sec through @<session> routing (with the reported per-item
+// rate, per-session overhead is the spread between fleet sizes) and
+// poll-loop latency for one scheduler round (`run` of one budget),
+// reported per session via the items-processed rate.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "hub/controller.hpp"
+
+using namespace gmdf;
+
+namespace {
+
+/// A hub hosting `sessions` live blinkers, warmed with 20 ms of
+/// activity so queries and the scheduler see real state.
+std::unique_ptr<hub::HubController> make_hub(int sessions) {
+    auto h = std::make_unique<hub::HubController>();
+    for (int i = 0; i < sessions; ++i)
+        h->open("blinker", "s" + std::to_string(i));
+    (void)h->execute_line("run 20");
+    (void)h->drain_event_lines();
+    return h;
+}
+
+void BM_HubRoutedDispatch(benchmark::State& state) {
+    const int sessions = static_cast<int>(state.range(0));
+    auto h = make_hub(sessions);
+    int i = 0;
+    for (auto _ : state) {
+        auto resp =
+            h->execute_line("@s" + std::to_string(i++ % sessions) + " query stats");
+        benchmark::DoNotOptimize(resp);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["sessions"] = sessions;
+}
+BENCHMARK(BM_HubRoutedDispatch)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_HubPollLoopRound(benchmark::State& state) {
+    const int sessions = static_cast<int>(state.range(0));
+    auto h = make_hub(sessions);
+    // `run 10` = exactly one scheduler round at the default 10 ms
+    // budget: one slice (target advance + transport polls) per session.
+    for (auto _ : state) {
+        auto resp = h->execute_line("run 10");
+        benchmark::DoNotOptimize(resp);
+        h->drain_event_lines();
+    }
+    // items = session-slices, so the reported rate is per session.
+    state.SetItemsProcessed(state.iterations() * sessions);
+    state.counters["sessions"] = sessions;
+}
+BENCHMARK(BM_HubPollLoopRound)->Arg(1)->Arg(8)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

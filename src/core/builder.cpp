@@ -21,6 +21,11 @@ SessionBuilder& SessionBuilder::highlight_half_life(rt::SimTime ns) {
     return *this;
 }
 
+SessionBuilder& SessionBuilder::trace_capacity(std::size_t capacity) {
+    trace_capacity_ = capacity;
+    return *this;
+}
+
 SessionBuilder& SessionBuilder::step_actor(std::string actor_name) {
     step_actor_ = std::move(actor_name);
     return *this;
@@ -61,6 +66,7 @@ std::unique_ptr<DebugSession> SessionBuilder::build() {
                        : std::make_unique<DebugSession>(*design_);
     if (bindings_.has_value()) session->engine().set_bindings(std::move(*bindings_));
     if (half_life_.has_value()) session->animator().set_highlight_half_life(*half_life_);
+    if (trace_capacity_.has_value()) session->set_trace_capacity(*trace_capacity_);
     if (step_actor_.has_value()) session->set_step_actor(*step_actor_);
     for (Breakpoint& bp : breakpoints_) session->engine().add_breakpoint(std::move(bp));
     // Observers before transports: nothing a transport emits at open()

@@ -37,6 +37,10 @@ public:
     /// Decaying highlight half-life of the default scene animator.
     SessionBuilder& highlight_half_life(rt::SimTime ns);
 
+    /// Bounds the trace recorder to a ring of `capacity` events (0:
+    /// unbounded, the default).
+    SessionBuilder& trace_capacity(std::size_t capacity);
+
     /// Restricts model-level stepping to one actor.
     SessionBuilder& step_actor(std::string actor_name);
 
@@ -65,6 +69,7 @@ private:
     std::optional<MappingTable> mapping_;
     std::optional<CommandBindingTable> bindings_;
     std::optional<rt::SimTime> half_life_;
+    std::optional<std::size_t> trace_capacity_;
     std::optional<std::string> step_actor_;
     std::vector<Breakpoint> breakpoints_;
     std::vector<std::unique_ptr<link::Transport>> transports_;

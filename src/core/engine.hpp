@@ -42,6 +42,7 @@ struct EngineStats {
     std::uint64_t requests = 0;       ///< protocol requests served
     std::uint64_t request_errors = 0; ///< requests answered with an error
     std::uint64_t events_emitted = 0; ///< asynchronous events queued
+    std::uint64_t events_dropped = 0; ///< events evicted from a full queue
 };
 
 /// The debugger engine. Owns neither the design model nor its observers;
@@ -107,6 +108,7 @@ public:
     void note_request() { ++stats_.requests; }
     void note_request_error() { ++stats_.request_errors; }
     void note_event() { ++stats_.events_emitted; }
+    void note_event_dropped() { ++stats_.events_dropped; }
 
 private:
     void set_state(EngineState next);

@@ -86,6 +86,11 @@ public:
     /// The recorded command trace (observer; feeds replay/VCD/timing).
     [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
 
+    /// Bounds the trace recorder to a ring of `capacity` events (0:
+    /// unbounded, the default). Long-running hub sessions set this so the
+    /// trace holds the most recent window instead of growing forever.
+    void set_trace_capacity(std::size_t capacity) { trace_.set_capacity(capacity); }
+
     /// Divergences between observed behaviour and the design model.
     [[nodiscard]] const std::vector<Divergence>& divergences() const {
         return divergence_log_.divergences();

@@ -3,6 +3,8 @@
 // replay it against a timing diagram).
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -22,14 +24,41 @@ struct TraceEvent {
 
 /// Timestamped record of every command the debugger observed. Registers
 /// on the engine as an observer (on_command) or is fed directly.
+///
+/// Optionally bounded: with a ring capacity set, the oldest events are
+/// evicted once the recorder is full, so long-running sessions hold the
+/// most recent window instead of growing without bound.
 class TraceRecorder final : public EngineObserver {
 public:
     void on_command(const link::Command& cmd, rt::SimTime t) override { record(cmd, t); }
 
-    void record(const link::Command& cmd, rt::SimTime t) { events_.push_back({t, cmd}); }
-    void clear() { events_.clear(); }
+    void record(const link::Command& cmd, rt::SimTime t) {
+        if (capacity_ != 0 && events_.size() >= capacity_) {
+            events_.pop_front();
+            ++dropped_;
+        }
+        events_.push_back({t, cmd});
+    }
+    void clear() {
+        events_.clear();
+        dropped_ = 0;
+    }
 
-    [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+    /// Ring capacity in events; 0 (the default) records unbounded.
+    /// Shrinking below the current size evicts the oldest events.
+    void set_capacity(std::size_t capacity) {
+        capacity_ = capacity;
+        while (capacity_ != 0 && events_.size() > capacity_) {
+            events_.pop_front();
+            ++dropped_;
+        }
+    }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Events evicted because the ring was full (since the last clear()).
+    [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+    [[nodiscard]] const std::deque<TraceEvent>& events() const { return events_; }
     [[nodiscard]] std::size_t size() const { return events_.size(); }
 
     /// Events of one kind, in order.
@@ -44,7 +73,9 @@ public:
     [[nodiscard]] std::string to_vcd(const meta::Model& design) const;
 
 private:
-    std::vector<TraceEvent> events_;
+    std::deque<TraceEvent> events_;
+    std::size_t capacity_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace gmdf::core

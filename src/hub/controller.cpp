@@ -1,0 +1,316 @@
+#include "hub/controller.hpp"
+
+#include <iterator>
+#include <string>
+
+#include "core/session.hpp"
+#include "proto/controller.hpp"
+#include "proto/message.hpp"
+
+namespace gmdf::hub {
+
+namespace {
+
+std::string_view first_token(std::string_view line) {
+    std::size_t end = line.find_first_of(" \t");
+    return end == std::string_view::npos ? line : line.substr(0, end);
+}
+
+std::string_view skip_blanks(std::string_view line) {
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+        line.remove_prefix(1);
+    return line;
+}
+
+std::string entry_line(SessionRegistry::Entry& e, bool is_current) {
+    return std::string(is_current ? "* " : "  ") + std::to_string(e.id) + " " + e.name +
+           " scenario=" + e.scenario->name + " engine=" +
+           core::to_string(e.session().engine().state());
+}
+
+} // namespace
+
+HubController::HubController() {
+    auto bind = [this](proto::Response (HubController::*fn)(const proto::Request&)) {
+        return [this, fn](const proto::Request& req) { return (this->*fn)(req); };
+    };
+    hub_dispatcher_.add({"session", "session open <scenario> [name]",
+                         "host a new session (becomes current)",
+                         bind(&HubController::cmd_session)});
+    hub_dispatcher_.add({"session", "session close [session]",
+                         "close a session (default: current)", nullptr});
+    hub_dispatcher_.add({"session", "session list", "list hosted sessions", nullptr});
+    hub_dispatcher_.add({"session", "session use <session>",
+                         "switch the current session", nullptr});
+    hub_dispatcher_.add({"session", "session stats",
+                         "hub totals: sessions, scheduler, aggregate engine counters",
+                         nullptr});
+}
+
+SessionRegistry::Entry* HubController::open(std::string_view scenario, std::string name,
+                                            SessionRegistry::OpenError* error) {
+    SessionRegistry::Entry* entry = registry_.open(scenario, std::move(name), error);
+    if (entry != nullptr) install(*entry);
+    return entry;
+}
+
+SessionRegistry::Entry* HubController::adopt(std::unique_ptr<proto::Scenario> scenario,
+                                             std::string name,
+                                             SessionRegistry::OpenError* error) {
+    SessionRegistry::Entry* entry =
+        registry_.adopt(std::move(scenario), std::move(name), error);
+    if (entry != nullptr) install(*entry);
+    return entry;
+}
+
+void HubController::install(SessionRegistry::Entry& entry) {
+    // `run` on any hosted session pumps the whole hub: every live
+    // session advances concurrently through the scheduler instead of
+    // only the addressed session's transports.
+    entry.controller().set_run_hook([this](rt::SimTime duration) {
+        scheduler_.pump(registry_, duration, [this](SessionRegistry::Entry& pumped) {
+            collect_events(pumped);
+        });
+    });
+    current_ = entry.id;
+    if (registry_.size() > 1) multi_ = true;
+}
+
+void HubController::collect_events(SessionRegistry::Entry& entry) {
+    for (const proto::Event& ev : entry.controller().drain_events()) {
+        std::string line = proto::format_event(ev);
+        if (multi_) line = "[" + entry.name + "] " + line;
+        if (event_capacity_ != 0 && event_lines_.size() >= event_capacity_) {
+            event_lines_.pop_front();
+            ++stats_.events_dropped;
+        }
+        event_lines_.push_back(std::move(line));
+    }
+}
+
+std::vector<std::string> HubController::drain_event_lines() {
+    std::vector<std::string> out(std::make_move_iterator(event_lines_.begin()),
+                                 std::make_move_iterator(event_lines_.end()));
+    event_lines_.clear();
+    return out;
+}
+
+proto::Response HubController::hub_ok(std::vector<std::string> body) {
+    ++stats_.requests;
+    return proto::Response::make_ok(std::move(body));
+}
+
+proto::Response HubController::hub_error(proto::ErrorCode code, std::string message) {
+    ++stats_.requests;
+    ++stats_.request_errors;
+    return proto::Response::make_error(code, std::move(message));
+}
+
+proto::Response HubController::route(SessionRegistry::Entry& entry,
+                                     std::string_view line) {
+    proto::Response resp = entry.controller().execute_line(line);
+    collect_events(entry);
+    return resp;
+}
+
+proto::Response HubController::execute_line(std::string_view line) {
+    // Tolerate untrimmed client lines the way parse_request does —
+    // otherwise "  session list" would be mis-routed into a session.
+    line = skip_blanks(line);
+    SessionRegistry::Entry* entry = nullptr;
+    bool addressed = false;
+    if (!line.empty() && line.front() == '@') {
+        std::size_t space = line.find_first_of(" \t");
+        std::string_view tag =
+            line.substr(1, space == std::string_view::npos ? std::string_view::npos
+                                                           : space - 1);
+        if (tag.empty() || space == std::string_view::npos)
+            return hub_error(proto::ErrorCode::BadRequest,
+                             "usage: @<session> <verb ...>");
+        entry = registry_.resolve(tag);
+        if (entry == nullptr)
+            return hub_error(proto::ErrorCode::NotFound,
+                             "no session '@" + std::string(tag) +
+                                 "' (see 'session list')");
+        addressed = true;
+        line = skip_blanks(line.substr(space + 1));
+        if (line.empty())
+            return hub_error(proto::ErrorCode::BadRequest,
+                             "usage: @<session> <verb ...>");
+    }
+    if (!addressed) entry = current();
+
+    std::string_view verb = first_token(line);
+    if (verb == "session") {
+        // Silently dropping the prefix would make '@cell session close'
+        // act on the *current* session — refuse instead.
+        if (addressed)
+            return hub_error(proto::ErrorCode::BadArgument,
+                             "session verbs are hub-level; use 'session "
+                             "close|use <session>' instead of '@<session> session ...'");
+        auto parsed = proto::parse_request(line);
+        if (!parsed.ok())
+            return hub_error(proto::ErrorCode::BadRequest, parsed.error);
+        ++stats_.requests;
+        proto::Response resp = hub_dispatcher_.dispatch(*parsed.request);
+        if (!resp.ok()) ++stats_.request_errors;
+        return resp;
+    }
+
+    if (verb == "help") {
+        auto parsed = proto::parse_request(line);
+        if (parsed.ok()) {
+            const auto& args = parsed.request->args;
+            if (args.size() == 1 && args[0] == "session")
+                return hub_ok(hub_dispatcher_.help_lines("session"));
+            if (args.empty()) {
+                if (entry == nullptr) return hub_ok(hub_dispatcher_.help_lines());
+                // One combined listing: the session's verbs, then the
+                // hub's session-management rows.
+                proto::Response resp = route(*entry, line);
+                if (resp.ok())
+                    for (std::string& extra : hub_dispatcher_.help_lines())
+                        resp.body.push_back(std::move(extra));
+                return resp;
+            }
+        }
+        // help <verb> / malformed help: route like any other request.
+    }
+
+    if (entry == nullptr) {
+        if (verb == "quit" || verb == "exit") return hub_ok({"bye"});
+        return hub_error(proto::ErrorCode::BadState,
+                         "no open session (try 'session open <scenario>')");
+    }
+    return route(*entry, line);
+}
+
+// ---- session verb -----------------------------------------------------------
+
+proto::Response HubController::cmd_session(const proto::Request& req) {
+    if (req.args.empty())
+        return proto::Response::make_error(
+            proto::ErrorCode::BadArgument,
+            "usage: session open|close|list|use|stats ...");
+    const std::string& sub = req.args[0];
+    if (sub == "open") return session_open(req);
+    if (sub == "close") return session_close(req);
+    if (sub == "list") {
+        if (req.args.size() != 1)
+            return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                               "usage: session list");
+        return session_list();
+    }
+    if (sub == "use") return session_use(req);
+    if (sub == "stats") {
+        if (req.args.size() != 1)
+            return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                               "usage: session stats");
+        return session_stats();
+    }
+    return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                       "usage: session open|close|list|use|stats ...");
+}
+
+proto::Response HubController::session_open(const proto::Request& req) {
+    if (req.args.size() < 2 || req.args.size() > 3)
+        return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                           "usage: session open <scenario> [name]");
+    const std::string& scenario = req.args[1];
+    const std::string& name = req.args.size() == 3 ? req.args[2] : req.args[1];
+    SessionRegistry::OpenError error = SessionRegistry::OpenError::None;
+    SessionRegistry::Entry* entry = open(scenario, name, &error);
+    if (entry == nullptr) {
+        switch (error) {
+        case SessionRegistry::OpenError::BadName:
+            return proto::Response::make_error(
+                proto::ErrorCode::BadArgument,
+                "session name '" + name +
+                    "' must be one token of [A-Za-z0-9_-] with a non-digit");
+        case SessionRegistry::OpenError::DuplicateName:
+            return proto::Response::make_error(proto::ErrorCode::BadState,
+                                               "session '" + name + "' already open");
+        default:
+            return proto::Response::make_error(proto::ErrorCode::NotFound,
+                                               "no scenario '" + scenario + "'");
+        }
+    }
+    return proto::Response::make_ok(
+        {"session " + std::to_string(entry->id) + " " + entry->name +
+             " opened (scenario " + scenario + ")",
+         "current " + entry->name});
+}
+
+proto::Response HubController::session_close(const proto::Request& req) {
+    if (req.args.size() > 2)
+        return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                           "usage: session close [session]");
+    SessionRegistry::Entry* entry = nullptr;
+    if (req.args.size() == 2) {
+        entry = registry_.resolve(req.args[1]);
+        if (entry == nullptr)
+            return proto::Response::make_error(proto::ErrorCode::NotFound,
+                                               "no session '" + req.args[1] + "'");
+    } else {
+        entry = current();
+        if (entry == nullptr)
+            return proto::Response::make_error(proto::ErrorCode::BadState,
+                                               "no open session");
+    }
+    int id = entry->id;
+    std::string name = entry->name;
+    collect_events(*entry); // don't lose queued events with the session
+    registry_.close(id);
+    scheduler_.forget(id); // ids never return; keep the stats map bounded
+    if (current_ == id)
+        current_ = registry_.entries().empty() ? 0 : registry_.entries().front()->id;
+    std::vector<std::string> body = {"session " + std::to_string(id) + " " + name +
+                                     " closed"};
+    SessionRegistry::Entry* now_current = current();
+    body.push_back("current " + (now_current ? now_current->name : "(none)"));
+    return proto::Response::make_ok(std::move(body));
+}
+
+proto::Response HubController::session_list() {
+    std::vector<std::string> body = {"sessions " +
+                                     std::to_string(registry_.size())};
+    for (const auto& e : registry_.entries())
+        body.push_back(entry_line(*e, e->id == current_));
+    return proto::Response::make_ok(std::move(body));
+}
+
+proto::Response HubController::session_use(const proto::Request& req) {
+    if (req.args.size() != 2)
+        return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                           "usage: session use <session>");
+    SessionRegistry::Entry* entry = registry_.resolve(req.args[1]);
+    if (entry == nullptr)
+        return proto::Response::make_error(proto::ErrorCode::NotFound,
+                                           "no session '" + req.args[1] + "'");
+    current_ = entry->id;
+    return proto::Response::make_ok({"current " + entry->name});
+}
+
+proto::Response HubController::session_stats() {
+    const core::EngineStats total = registry_.aggregate_stats();
+    return proto::Response::make_ok({
+        "sessions " + std::to_string(registry_.size()) + " live (opened " +
+            std::to_string(registry_.opened()) + ", closed " +
+            std::to_string(registry_.closed()) + ")",
+        "hub-requests " + std::to_string(stats_.requests),
+        "hub-request-errors " + std::to_string(stats_.request_errors),
+        "hub-events-dropped " + std::to_string(stats_.events_dropped),
+        "scheduler-slices " + std::to_string(scheduler_.total_slices()) + " (budget " +
+            std::to_string(scheduler_.budget() / rt::kMs) + " ms)",
+        "commands " + std::to_string(total.commands),
+        "reactions " + std::to_string(total.reactions),
+        "breakpoints-hit " + std::to_string(total.breakpoints_hit),
+        "divergences " + std::to_string(total.divergences),
+        "requests " + std::to_string(total.requests),
+        "request-errors " + std::to_string(total.request_errors),
+        "events-emitted " + std::to_string(total.events_emitted),
+        "events-dropped " + std::to_string(total.events_dropped),
+    });
+}
+
+} // namespace gmdf::hub

@@ -1,0 +1,122 @@
+// HubController: the protocol face of a multi-session debug hub.
+//
+// Wraps a SessionRegistry and a PollScheduler behind the same
+// line-oriented protocol a single SessionController speaks, adding
+// session addressing on top:
+//
+//   session open <scenario> [name]   host a new session (becomes current)
+//   session close [session]          close a session (default: current)
+//   session list                     list hosted sessions
+//   session use <session>            switch the current session
+//   session stats                    hub totals and aggregate counters
+//   @<session> <verb ...>            route one request to a session by
+//                                    id or name without switching
+//
+// Every other verb is dispatched to the addressed (or current) session's
+// own controller, whose `run` hook the hub rebinds to the scheduler — so
+// `run <ms>` advances every live session concurrently, interleaving
+// their events. With a single hosted session the transcript is
+// byte-identical to a bare SessionController: event lines grow their
+// "[<name>] " session tag only once a second concurrent session has
+// been opened (the tagging latches on for the rest of the hub's life,
+// so a transcript never changes shape mid-stream when sessions close).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hub/registry.hpp"
+#include "hub/scheduler.hpp"
+#include "proto/dispatcher.hpp"
+#include "proto/script.hpp"
+
+namespace gmdf::hub {
+
+class HubController final : public proto::ScriptClient {
+public:
+    /// Requests handled at hub level (session verbs, routing failures);
+    /// requests routed into a session count in that session's
+    /// EngineStats instead, exactly as without a hub.
+    struct HubStats {
+        std::uint64_t requests = 0;
+        std::uint64_t request_errors = 0;
+        std::uint64_t events_dropped = 0; ///< event lines evicted, full queue
+    };
+
+    HubController();
+
+    HubController(const HubController&) = delete;
+    HubController& operator=(const HubController&) = delete;
+
+    /// Read-only: sessions registered behind the controller's back would
+    /// miss install() (run-hook rebinding, current tracking, the
+    /// multi-session tag latch) — go through open()/adopt() instead.
+    [[nodiscard]] const SessionRegistry& registry() const { return registry_; }
+    [[nodiscard]] PollScheduler& scheduler() { return scheduler_; }
+
+    /// Hosts a new session from a built-in scenario / an externally
+    /// built one; rebinds its run hook to the scheduler and makes it
+    /// current. Null on failure, with the reason in `error` when
+    /// provided.
+    SessionRegistry::Entry* open(std::string_view scenario, std::string name,
+                                 SessionRegistry::OpenError* error = nullptr);
+    SessionRegistry::Entry* adopt(std::unique_ptr<proto::Scenario> scenario,
+                                  std::string name,
+                                  SessionRegistry::OpenError* error = nullptr);
+
+    /// The current session (unaddressed verbs route here); null when no
+    /// session is open.
+    [[nodiscard]] SessionRegistry::Entry* current() { return registry_.find(current_); }
+
+    /// Executes one request line: resolves an optional @<session>
+    /// prefix, handles `session` verbs at hub level, and routes
+    /// everything else to the addressed session. Never throws.
+    proto::Response execute_line(std::string_view line) override;
+
+    /// Formatted event lines from every hosted session, oldest first,
+    /// tagged with their session once the hub has gone multi-session.
+    std::vector<std::string> drain_event_lines() override;
+
+    /// Bounds the hub event queue (a client not draining must not grow
+    /// memory without bound; the oldest lines are evicted and counted in
+    /// stats().events_dropped). 0 is unbounded; defaults to 65536.
+    void set_event_capacity(std::size_t capacity) { event_capacity_ = capacity; }
+    [[nodiscard]] std::size_t event_capacity() const { return event_capacity_; }
+
+    /// The hub-level verb registry (the `session` rows).
+    [[nodiscard]] const proto::Dispatcher& dispatcher() const { return hub_dispatcher_; }
+
+    [[nodiscard]] const HubStats& stats() const { return stats_; }
+
+    /// True once a second concurrent session has been opened (event
+    /// tagging is on for good).
+    [[nodiscard]] bool multi_session() const { return multi_; }
+
+private:
+    proto::Response hub_ok(std::vector<std::string> body);
+    proto::Response hub_error(proto::ErrorCode code, std::string message);
+    proto::Response route(SessionRegistry::Entry& entry, std::string_view line);
+    void install(SessionRegistry::Entry& entry);
+    void collect_events(SessionRegistry::Entry& entry);
+
+    proto::Response cmd_session(const proto::Request& req);
+    proto::Response session_open(const proto::Request& req);
+    proto::Response session_close(const proto::Request& req);
+    proto::Response session_list();
+    proto::Response session_use(const proto::Request& req);
+    proto::Response session_stats();
+
+    SessionRegistry registry_;
+    PollScheduler scheduler_;
+    proto::Dispatcher hub_dispatcher_;
+    int current_ = 0;
+    bool multi_ = false;
+    HubStats stats_;
+    std::size_t event_capacity_ = 65536;
+    std::deque<std::string> event_lines_;
+};
+
+} // namespace gmdf::hub

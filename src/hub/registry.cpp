@@ -1,0 +1,130 @@
+#include "hub/registry.hpp"
+
+#include <algorithm>
+
+namespace gmdf::hub {
+
+bool SessionRegistry::valid_name(std::string_view name) {
+    if (name.empty()) return false;
+    bool non_digit = false;
+    for (char c : name) {
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == '-')
+            non_digit = true;
+        else if (c < '0' || c > '9')
+            return false;
+    }
+    // All-digit names would be unaddressable: resolve() reads an
+    // all-digit tag as a session id.
+    return non_digit;
+}
+
+namespace {
+
+void report(SessionRegistry::OpenError* out, SessionRegistry::OpenError error) {
+    if (out != nullptr) *out = error;
+}
+
+} // namespace
+
+bool SessionRegistry::check_name(const std::string& name, OpenError* error) {
+    report(error, OpenError::None);
+    if (!valid_name(name)) {
+        report(error, OpenError::BadName);
+        return false;
+    }
+    if (find_named(name) != nullptr) {
+        report(error, OpenError::DuplicateName);
+        return false;
+    }
+    return true;
+}
+
+SessionRegistry::Entry* SessionRegistry::open(std::string_view scenario_name,
+                                              std::string name, OpenError* error) {
+    if (!check_name(name, error)) return nullptr;
+    auto scenario = proto::make_scenario(scenario_name);
+    if (scenario == nullptr) {
+        report(error, OpenError::NoScenario);
+        return nullptr;
+    }
+    return insert(std::move(scenario), std::move(name));
+}
+
+SessionRegistry::Entry* SessionRegistry::adopt(std::unique_ptr<proto::Scenario> scenario,
+                                               std::string name, OpenError* error) {
+    if (!check_name(name, error)) return nullptr;
+    if (scenario == nullptr || scenario->session == nullptr) {
+        report(error, OpenError::NoScenario);
+        return nullptr;
+    }
+    return insert(std::move(scenario), std::move(name));
+}
+
+SessionRegistry::Entry* SessionRegistry::insert(std::unique_ptr<proto::Scenario> scenario,
+                                                std::string name) {
+    auto entry = std::make_unique<Entry>();
+    entry->id = next_id_++;
+    entry->name = std::move(name);
+    entry->scenario = std::move(scenario);
+    ++opened_;
+    entries_.push_back(std::move(entry));
+    return entries_.back().get();
+}
+
+bool SessionRegistry::close(int id) {
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [id](const auto& e) { return e->id == id; });
+    if (it == entries_.end()) return false;
+    accumulate(retired_, (*it)->scenario->session->engine().stats());
+    entries_.erase(it);
+    ++closed_;
+    return true;
+}
+
+SessionRegistry::Entry* SessionRegistry::find(int id) {
+    for (const auto& e : entries_)
+        if (e->id == id) return e.get();
+    return nullptr;
+}
+
+SessionRegistry::Entry* SessionRegistry::find_named(std::string_view name) {
+    for (const auto& e : entries_)
+        if (e->name == name) return e.get();
+    return nullptr;
+}
+
+SessionRegistry::Entry* SessionRegistry::resolve(std::string_view tag) {
+    if (tag.empty()) return nullptr;
+    bool digits = std::all_of(tag.begin(), tag.end(),
+                              [](char c) { return c >= '0' && c <= '9'; });
+    if (digits) {
+        // Ids are small and sequential; anything longer than 9 digits
+        // cannot be live (and would overflow an int).
+        if (tag.size() > 9) return nullptr;
+        int id = 0;
+        for (char c : tag) id = id * 10 + (c - '0');
+        return find(id);
+    }
+    return find_named(tag);
+}
+
+void SessionRegistry::accumulate(core::EngineStats& into,
+                                 const core::EngineStats& from) {
+    into.commands += from.commands;
+    into.reactions += from.reactions;
+    into.breakpoints_hit += from.breakpoints_hit;
+    into.divergences += from.divergences;
+    into.requests += from.requests;
+    into.request_errors += from.request_errors;
+    into.events_emitted += from.events_emitted;
+    into.events_dropped += from.events_dropped;
+}
+
+core::EngineStats SessionRegistry::aggregate_stats() const {
+    core::EngineStats total = retired_;
+    for (const auto& e : entries_)
+        accumulate(total, e->scenario->session->engine().stats());
+    return total;
+}
+
+} // namespace gmdf::hub

@@ -1,0 +1,99 @@
+// SessionRegistry: ownership of many concurrent debug sessions.
+//
+// The paper's GDM serves exactly one executing target per debugger
+// instance; the hub breaks that 1:1 shape. A registry owns N named
+// sessions — each a full proto::Scenario bundle (design model, simulated
+// target, DebugSession, SessionController) — hands out stable integer
+// ids, and aggregates per-session EngineStats into hub-level totals.
+// The protocol face (session open/close/list/use, @<id> routing) lives
+// in hub::HubController; the poll loop in hub::PollScheduler.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "proto/scenarios.hpp"
+
+namespace gmdf::hub {
+
+class SessionRegistry {
+public:
+    /// One hosted session. The id is stable for the life of the hub and
+    /// never reused; the name is unique among live sessions (a closed
+    /// session's name may be reopened, yielding a fresh id).
+    struct Entry {
+        int id = 0;
+        std::string name;
+        std::unique_ptr<proto::Scenario> scenario;
+
+        [[nodiscard]] core::DebugSession& session() { return *scenario->session; }
+        [[nodiscard]] proto::SessionController& controller() {
+            return scenario->controller();
+        }
+    };
+
+    /// Why open()/adopt() refused to register a session.
+    enum class OpenError {
+        None,
+        BadName,       ///< not a valid session name
+        DuplicateName, ///< the name is already live
+        NoScenario,    ///< unknown scenario name / null scenario given
+    };
+
+    /// Session names are one token of [A-Za-z0-9_-] with at least one
+    /// non-digit, so they survive the line protocol and the @<session>
+    /// prefix unquoted and can never shadow a session id.
+    [[nodiscard]] static bool valid_name(std::string_view name);
+
+    /// Builds a session from a built-in scenario (proto::make_scenario)
+    /// and registers it. Null on failure, with the reason in `error`
+    /// when provided.
+    Entry* open(std::string_view scenario_name, std::string name,
+                OpenError* error = nullptr);
+
+    /// Registers an externally built scenario (tests, embedders). Same
+    /// failure rules as open(), minus the scenario lookup.
+    Entry* adopt(std::unique_ptr<proto::Scenario> scenario, std::string name,
+                 OpenError* error = nullptr);
+
+    /// Destroys a live session; false for unknown ids.
+    bool close(int id);
+
+    [[nodiscard]] Entry* find(int id);
+    [[nodiscard]] Entry* find_named(std::string_view name);
+
+    /// Resolves a session tag: all digits -> id lookup, else name lookup.
+    [[nodiscard]] Entry* resolve(std::string_view tag);
+
+    /// Live sessions, in id (= opening) order.
+    [[nodiscard]] const std::vector<std::unique_ptr<Entry>>& entries() const {
+        return entries_;
+    }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+    [[nodiscard]] std::uint64_t opened() const { return opened_; }
+    [[nodiscard]] std::uint64_t closed() const { return closed_; }
+
+    /// Hub-level totals: the sum of every live session's EngineStats
+    /// plus everything closed sessions had accumulated when they were
+    /// retired — so the counters are monotonic across closes and usable
+    /// for delta monitoring.
+    [[nodiscard]] core::EngineStats aggregate_stats() const;
+
+private:
+    bool check_name(const std::string& name, OpenError* error);
+    Entry* insert(std::unique_ptr<proto::Scenario> scenario, std::string name);
+    static void accumulate(core::EngineStats& into, const core::EngineStats& from);
+
+    std::vector<std::unique_ptr<Entry>> entries_;
+    int next_id_ = 1;
+    std::uint64_t opened_ = 0;
+    std::uint64_t closed_ = 0;
+    core::EngineStats retired_; ///< totals carried over from closed sessions
+};
+
+} // namespace gmdf::hub

@@ -1,0 +1,52 @@
+#include "hub/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/session.hpp"
+#include "rt/target.hpp"
+
+namespace gmdf::hub {
+
+void PollScheduler::set_budget(rt::SimTime budget) {
+    if (budget <= 0) throw std::invalid_argument("scheduler budget must be positive");
+    budget_ = budget;
+}
+
+void PollScheduler::pump(SessionRegistry& registry, rt::SimTime duration,
+                         const SliceHook& after_slice) {
+    if (duration <= 0) return;
+    // Remaining simulated time per session id. Sessions opened mid-pump
+    // (there is no protocol path that does) would simply be skipped.
+    std::map<int, rt::SimTime> remaining;
+    for (const auto& e : registry.entries()) remaining[e->id] = duration;
+
+    bool any = true;
+    while (any) {
+        any = false;
+        for (const auto& e : registry.entries()) {
+            auto it = remaining.find(e->id);
+            if (it == remaining.end() || it->second <= 0) continue;
+            rt::SimTime slice = std::min(budget_, it->second);
+            pump_slice(*e, slice);
+            it->second -= slice;
+            any = true;
+            if (after_slice) after_slice(*e);
+        }
+    }
+}
+
+void PollScheduler::pump_slice(SessionRegistry::Entry& entry, rt::SimTime slice) {
+    proto::Scenario& scenario = *entry.scenario;
+    scenario.target.run_for(slice);
+    rt::SimTime now = scenario.target.sim().now();
+    core::DebugSession& session = *scenario.session;
+    for (const auto& transport : session.transports())
+        transport->poll(session.engine(), now);
+    SessionPumpStats& s = stats_[entry.id];
+    ++s.slices;
+    s.advanced += slice;
+    ++total_slices_;
+}
+
+} // namespace gmdf::hub

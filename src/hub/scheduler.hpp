@@ -1,0 +1,70 @@
+// PollScheduler: one cooperative loop pumping every live session.
+//
+// Each hosted session fronts its own simulated target with its own
+// clock. Advancing them serially (session A for the whole duration,
+// then session B) would batch each target's events and let one chatty
+// target starve the others' liveness. The scheduler instead advances
+// all sessions round-robin in bounded simulated-time slices: every
+// round, each live session's target runs forward by at most the
+// per-session budget and every attached transport is polled, so events
+// from concurrent targets interleave in elapsed-time order at budget
+// granularity and no session waits longer than one round for service.
+//
+// For a single session the sliced pump is behaviourally identical to
+// one contiguous run (the DES kernel dispatches the same events in the
+// same order across run_until boundaries) — which is what keeps
+// single-session transcripts byte-stable under the hub.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "hub/registry.hpp"
+#include "rt/des.hpp"
+
+namespace gmdf::hub {
+
+class PollScheduler {
+public:
+    /// Called after each per-session slice (events queued by that slice
+    /// are ready to collect). Must not open or close sessions.
+    using SliceHook = std::function<void(SessionRegistry::Entry&)>;
+
+    /// Per-session slice counters, kept across pumps.
+    struct SessionPumpStats {
+        std::uint64_t slices = 0;
+        rt::SimTime advanced = 0;
+    };
+
+    /// Per-session simulated-time budget of one round-robin slice.
+    /// Must be positive; defaults to 10 ms.
+    void set_budget(rt::SimTime budget);
+    [[nodiscard]] rt::SimTime budget() const { return budget_; }
+
+    /// Advances every live session in `registry` by `duration`:
+    /// round-robin over the sessions in id order, each slice running one
+    /// session's target forward by min(budget, remaining) and polling
+    /// its transports at the new clock.
+    void pump(SessionRegistry& registry, rt::SimTime duration,
+              const SliceHook& after_slice = {});
+
+    /// Per live (not yet forgotten) session; total_slices() keeps the
+    /// all-time count.
+    [[nodiscard]] const std::map<int, SessionPumpStats>& stats() const { return stats_; }
+    [[nodiscard]] std::uint64_t total_slices() const { return total_slices_; }
+
+    /// Drops the per-session counters of a closed session so churny
+    /// long-lived hubs don't accumulate one map entry per session ever
+    /// hosted. total_slices() is unaffected.
+    void forget(int session_id) { stats_.erase(session_id); }
+
+private:
+    void pump_slice(SessionRegistry::Entry& entry, rt::SimTime slice);
+
+    rt::SimTime budget_ = 10 * rt::kMs;
+    std::map<int, SessionPumpStats> stats_;
+    std::uint64_t total_slices_ = 0;
+};
+
+} // namespace gmdf::hub

@@ -103,59 +103,71 @@ std::string breakpoint_line(const meta::Model& design, int handle,
 
 } // namespace
 
+// One row of the shared session verb table: the registry metadata plus
+// the unbound handler. The table is a function-local static constructed
+// once per process; every controller binds its `this` against it, so a
+// hub hosting N sessions keeps one copy of the registry.
+struct SessionController::VerbEntry {
+    std::string_view verb;
+    std::string_view usage;
+    std::string_view summary;
+    Response (SessionController::*handler)(const Request&); ///< null: doc-only row
+};
+
+const std::vector<SessionController::VerbEntry>& SessionController::verb_table() {
+    using C = SessionController;
+    static const std::vector<VerbEntry> table = {
+        {"help", "help [verb]", "list commands (or one verb's forms)", &C::cmd_help},
+        {"info", "info", "session summary: model, GDM, engine, transports", &C::cmd_info},
+        {"run", "run <ms>", "advance the attached target by <ms> milliseconds",
+         &C::cmd_run},
+        {"pause", "pause", "halt the target at the next opportunity", &C::cmd_pause},
+        {"resume", "resume", "resume a paused target", &C::cmd_resume},
+        {"step", "step [actor]",
+         "run one task release then pause again; [actor] also sets the "
+         "step filter (see step-filter)",
+         &C::cmd_step},
+        {"step-filter", "step-filter [actor]",
+         "restrict stepping to one actor (no arg: any)", &C::cmd_step_filter},
+        {"break", "break add state|transition <element> [once]",
+         "pause when the state is entered / the transition fires", &C::cmd_break},
+        {"break", "break add signal <predicate> [once]",
+         "pause when the signal expression becomes true", nullptr},
+        {"break", "break remove <handle>", "delete one breakpoint", nullptr},
+        {"break", "break list", "list breakpoints", nullptr},
+        {"query", "query signal <name>", "last observed value of a signal",
+         &C::cmd_query},
+        {"query", "query state <machine>", "current state of a state machine", nullptr},
+        {"query", "query stats", "engine, protocol, and transport counters", nullptr},
+        {"query", "query divergences",
+         "model/implementation divergences detected so far", nullptr},
+        {"render", "render ascii|svg", "render the current animation frame",
+         &C::cmd_render},
+        {"trace", "trace vcd|timing [columns]",
+         "export the recorded trace (VCD dump / ASCII timing diagram)", &C::cmd_trace},
+        {"replay", "replay [stride]",
+         "re-animate the recorded trace; shows the final frame", &C::cmd_replay},
+        {"quit", "quit", "end the session", &C::cmd_quit},
+    };
+    return table;
+}
+
 SessionController::SessionController(core::DebugSession& session) : session_(&session) {
-    register_verbs();
+    bind_verbs();
     session_->engine().add_observer(this);
 }
 
 SessionController::~SessionController() { session_->engine().remove_observer(this); }
 
-void SessionController::register_verbs() {
-    auto bind = [this](Response (SessionController::*fn)(const Request&)) {
-        return [this, fn](const Request& req) { return (this->*fn)(req); };
-    };
-    dispatcher_.add({"help", "help [verb]", "list commands (or one verb's forms)",
-                     bind(&SessionController::cmd_help)});
-    dispatcher_.add({"info", "info", "session summary: model, GDM, engine, transports",
-                     bind(&SessionController::cmd_info)});
-    dispatcher_.add({"run", "run <ms>", "advance the attached target by <ms> milliseconds",
-                     bind(&SessionController::cmd_run)});
-    dispatcher_.add({"pause", "pause", "halt the target at the next opportunity",
-                     bind(&SessionController::cmd_pause)});
-    dispatcher_.add({"resume", "resume", "resume a paused target",
-                     bind(&SessionController::cmd_resume)});
-    dispatcher_.add({"step", "step [actor]",
-                     "run one task release then pause again; [actor] also sets the "
-                     "step filter (see step-filter)",
-                     bind(&SessionController::cmd_step)});
-    dispatcher_.add({"step-filter", "step-filter [actor]",
-                     "restrict stepping to one actor (no arg: any)",
-                     bind(&SessionController::cmd_step_filter)});
-    dispatcher_.add({"break", "break add state|transition <element> [once]",
-                     "pause when the state is entered / the transition fires",
-                     bind(&SessionController::cmd_break)});
-    dispatcher_.add({"break", "break add signal <predicate> [once]",
-                     "pause when the signal expression becomes true", nullptr});
-    dispatcher_.add({"break", "break remove <handle>", "delete one breakpoint", nullptr});
-    dispatcher_.add({"break", "break list", "list breakpoints", nullptr});
-    dispatcher_.add({"query", "query signal <name>", "last observed value of a signal",
-                     bind(&SessionController::cmd_query)});
-    dispatcher_.add({"query", "query state <machine>",
-                     "current state of a state machine", nullptr});
-    dispatcher_.add({"query", "query stats", "engine, protocol, and transport counters",
-                     nullptr});
-    dispatcher_.add({"query", "query divergences",
-                     "model/implementation divergences detected so far", nullptr});
-    dispatcher_.add({"render", "render ascii|svg", "render the current animation frame",
-                     bind(&SessionController::cmd_render)});
-    dispatcher_.add({"trace", "trace vcd|timing [columns]",
-                     "export the recorded trace (VCD dump / ASCII timing diagram)",
-                     bind(&SessionController::cmd_trace)});
-    dispatcher_.add({"replay", "replay [stride]",
-                     "re-animate the recorded trace; shows the final frame",
-                     bind(&SessionController::cmd_replay)});
-    dispatcher_.add({"quit", "quit", "end the session",
-                     bind(&SessionController::cmd_quit)});
+void SessionController::bind_verbs() {
+    for (const VerbEntry& entry : verb_table()) {
+        Handler handler;
+        if (entry.handler != nullptr) {
+            auto fn = entry.handler;
+            handler = [this, fn](const Request& req) { return (this->*fn)(req); };
+        }
+        dispatcher_.add({entry.verb, entry.usage, entry.summary, std::move(handler)});
+    }
 }
 
 Response SessionController::execute(const Request& req) {
@@ -181,10 +193,14 @@ std::vector<Event> SessionController::drain_events() {
     return out;
 }
 
+std::uint64_t SessionController::dropped_events() const {
+    return session_->engine().stats().events_dropped;
+}
+
 void SessionController::push_event(Event ev) {
     if (events_.size() >= kMaxQueuedEvents) {
         events_.pop_front();
-        ++dropped_events_;
+        session_->engine().note_event_dropped();
     }
     events_.push_back(std::move(ev));
     session_->engine().note_event();
@@ -421,7 +437,7 @@ Response SessionController::cmd_query(const Request& req) {
             "requests " + std::to_string(s.requests),
             "request-errors " + std::to_string(s.request_errors),
             "events-emitted " + std::to_string(s.events_emitted),
-            "events-dropped " + std::to_string(dropped_events_),
+            "events-dropped " + std::to_string(s.events_dropped),
         };
         for (const auto& t : session_->transports()) {
             const auto ts = t->stats();
@@ -455,10 +471,25 @@ Response SessionController::cmd_render(const Request& req) {
 }
 
 Response SessionController::cmd_trace(const Request& req) {
+    // Bounded recorders evict the oldest events; say so ahead of any
+    // export built from the surviving window. (Silent with no drops, so
+    // unbounded sessions keep their exact historical transcripts.)
+    auto export_ok = [this](const std::string& text) {
+        std::vector<std::string> body;
+        if (session_->trace().dropped() > 0)
+            body.push_back("(trace ring dropped " +
+                           std::to_string(session_->trace().dropped()) +
+                           " oldest events; capacity " +
+                           std::to_string(session_->trace().capacity()) + ")");
+        auto lines = split_lines(text);
+        body.insert(body.end(), lines.begin(), lines.end());
+        return Response::make_ok(std::move(body));
+    };
+
     if (req.args.empty()) return bad_args("trace vcd|timing [columns]");
     if (req.args[0] == "vcd") {
         if (req.args.size() != 1) return bad_args("trace vcd");
-        return Response::make_ok(split_lines(session_->vcd()));
+        return export_ok(session_->vcd());
     }
     if (req.args[0] == "timing") {
         if (req.args.size() > 2) return bad_args("trace timing [columns]");
@@ -471,8 +502,7 @@ Response SessionController::cmd_trace(const Request& req) {
                                                 "' is not a column count (>= 8)");
             columns = static_cast<std::size_t>(*n);
         }
-        return Response::make_ok(
-            split_lines(session_->timing_diagram().render_ascii(columns)));
+        return export_ok(session_->timing_diagram().render_ascii(columns));
     }
     return bad_args("trace vcd|timing [columns]");
 }

@@ -6,6 +6,12 @@
 // queued for the client. DebugSession's own control methods route
 // through the same handlers (see core/session.cpp), so the C++ API and
 // the protocol cannot drift.
+//
+// The verb registry (names, usage, summaries, handler bindings) is one
+// shared table constructed once per process; a controller instance holds
+// strictly per-session state — the session pointer, the run hook, and
+// the event queue — so a hub hosting many sessions pays per session only
+// for the handler bindings, never for the registry itself.
 #pragma once
 
 #include <cstdint>
@@ -60,8 +66,8 @@ public:
     [[nodiscard]] bool has_events() const { return !events_.empty(); }
 
     /// Events dropped because the queue hit its bound (client not
-    /// draining).
-    [[nodiscard]] std::uint64_t dropped_events() const { return dropped_events_; }
+    /// draining); counted in the session's EngineStats::events_dropped.
+    [[nodiscard]] std::uint64_t dropped_events() const;
 
     // EngineObserver: queue asynchronous notifications.
     void on_breakpoint_hit(int handle, const core::Breakpoint& bp,
@@ -70,7 +76,13 @@ public:
     void on_state_change(core::EngineState from, core::EngineState to) override;
 
 private:
-    void register_verbs();
+    struct VerbEntry; ///< one row of the shared verb table (controller.cpp)
+
+    /// The process-wide verb registry: constructed once, shared by every
+    /// controller instance.
+    static const std::vector<VerbEntry>& verb_table();
+
+    void bind_verbs();
     void push_event(Event ev);
 
     // Verb handlers.
@@ -92,7 +104,6 @@ private:
     Dispatcher dispatcher_;
     RunHook run_hook_;
     std::deque<Event> events_;
-    std::uint64_t dropped_events_ = 0;
 };
 
 } // namespace gmdf::proto

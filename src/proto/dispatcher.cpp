@@ -10,14 +10,16 @@ void Dispatcher::add(CommandSpec spec) { commands_.push_back(std::move(spec)); }
 std::vector<std::string> Dispatcher::verbs() const {
     std::vector<std::string> out;
     for (const CommandSpec& c : commands_)
-        if (std::find(out.begin(), out.end(), c.verb) == out.end()) out.push_back(c.verb);
+        if (std::find(out.begin(), out.end(), c.verb) == out.end())
+            out.emplace_back(c.verb);
     return out;
 }
 
 std::vector<std::string> Dispatcher::help_lines(std::string_view verb) const {
     std::vector<std::string> out;
     for (const CommandSpec& c : commands_)
-        if (verb.empty() || c.verb == verb) out.push_back(c.usage + " -- " + c.summary);
+        if (verb.empty() || c.verb == verb)
+            out.push_back(std::string(c.usage) + " -- " + std::string(c.summary));
     return out;
 }
 

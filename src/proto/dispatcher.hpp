@@ -23,11 +23,15 @@ using Handler = std::function<Response(const Request&)>;
 /// One registry row. Several rows may share a verb to document
 /// subcommands separately (`break add ...` / `break remove <handle>`);
 /// dispatch uses the first row with a non-null handler for the verb.
+///
+/// The text fields are non-owning: register string literals (or storage
+/// outliving the dispatcher), so a registry shared by many sessions is
+/// constructed once and never copies its documentation.
 struct CommandSpec {
-    std::string verb;
-    std::string usage;   ///< e.g. "step [actor]"
-    std::string summary; ///< one-line human description
-    Handler handler;     ///< null for doc-only rows
+    std::string_view verb;
+    std::string_view usage;   ///< e.g. "step [actor]"
+    std::string_view summary; ///< one-line human description
+    Handler handler;          ///< null for doc-only rows
 };
 
 class Dispatcher {

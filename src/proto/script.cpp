@@ -15,10 +15,30 @@ std::string_view trim(std::string_view s) {
     return s;
 }
 
+/// ScriptClient face of one SessionController.
+class ControllerClient final : public ScriptClient {
+public:
+    explicit ControllerClient(SessionController& controller) : controller_(&controller) {}
+
+    Response execute_line(std::string_view line) override {
+        return controller_->execute_line(line);
+    }
+
+    std::vector<std::string> drain_event_lines() override {
+        std::vector<std::string> out;
+        for (const Event& ev : controller_->drain_events())
+            out.push_back(format_event(ev));
+        return out;
+    }
+
+private:
+    SessionController* controller_;
+};
+
 } // namespace
 
-ScriptResult run_script(SessionController& controller, std::istream& in,
-                        std::ostream& out, const ScriptOptions& options) {
+ScriptResult run_script(ScriptClient& client, std::istream& in, std::ostream& out,
+                        const ScriptOptions& options) {
     ScriptResult result;
     std::string raw;
     while (true) {
@@ -32,17 +52,23 @@ ScriptResult run_script(SessionController& controller, std::istream& in,
         }
         if (options.echo) out << "> " << line << "\n";
         bool is_quit = line == "quit" || line == "exit";
-        Response resp = controller.execute_line(is_quit ? "quit" : line);
+        Response resp = client.execute_line(is_quit ? "quit" : line);
         ++result.requests;
         if (!resp.ok()) ++result.errors;
         out << format_response(resp);
-        for (const Event& ev : controller.drain_events()) out << format_event(ev);
+        for (const std::string& ev : client.drain_event_lines()) out << ev;
         if (is_quit) {
             result.quit = true;
             break;
         }
     }
     return result;
+}
+
+ScriptResult run_script(SessionController& controller, std::istream& in,
+                        std::ostream& out, const ScriptOptions& options) {
+    ControllerClient client(controller);
+    return run_script(client, in, out, options);
 }
 
 } // namespace gmdf::proto

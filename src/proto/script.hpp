@@ -1,20 +1,38 @@
 // Script/REPL driver shared by the gmdf_dbg tool and the golden tests.
 //
-// Reads request lines from a stream, executes them against a
-// SessionController, and writes the transcript — echoed commands,
-// responses, and any asynchronous events queued while a command ran —
-// to an output stream. Deterministic input therefore yields a
-// byte-stable transcript, which is what makes whole debug scenarios
-// usable as text fixtures.
+// Reads request lines from a stream, executes them against a script
+// client — a single SessionController or a whole hub::HubController —
+// and writes the transcript — echoed commands, responses, and any
+// asynchronous events queued while a command ran — to an output stream.
+// Deterministic input therefore yields a byte-stable transcript, which
+// is what makes whole debug scenarios usable as text fixtures.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "proto/controller.hpp"
 
 namespace gmdf::proto {
+
+/// What the script loop drives: anything that can execute one request
+/// line and surface the event lines queued while it ran. The hub
+/// implements this directly (tagging events with their session);
+/// SessionController is adapted in script.cpp.
+class ScriptClient {
+public:
+    virtual ~ScriptClient() = default;
+
+    /// Executes one request line; never throws.
+    virtual Response execute_line(std::string_view line) = 0;
+
+    /// Formatted, newline-terminated event lines queued since the last
+    /// drain, oldest first; the queue is emptied.
+    virtual std::vector<std::string> drain_event_lines() = 0;
+};
 
 struct ScriptOptions {
     /// Echo each executed line as "> <line>" and pass comment lines
@@ -33,6 +51,10 @@ struct ScriptResult {
 
 /// Runs lines from `in` until EOF or quit. Blank lines are skipped;
 /// lines starting with '#' are comments (echoed in script mode).
+ScriptResult run_script(ScriptClient& client, std::istream& in, std::ostream& out,
+                        const ScriptOptions& options = {});
+
+/// Same, against one session's controller (events untagged).
 ScriptResult run_script(SessionController& controller, std::istream& in,
                         std::ostream& out, const ScriptOptions& options = {});
 

@@ -1,0 +1,400 @@
+// Tests for the multi-session debug hub: registry lifecycle (open /
+// close / reopen, stable ids), @<session> request routing including the
+// closed-session error path, scheduler fairness under a flooding
+// transport, event tagging, hub aggregate stats, the bounded trace
+// recorder, the bounded controller event queue, and the golden fleet
+// transcript.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "comdes/build.hpp"
+#include "core/builder.hpp"
+#include "core/session.hpp"
+#include "core/transports.hpp"
+#include "hub/controller.hpp"
+#include "hub/registry.hpp"
+#include "hub/scheduler.hpp"
+#include "proto/script.hpp"
+
+namespace gc = gmdf::comdes;
+namespace gco = gmdf::core;
+namespace gh = gmdf::hub;
+namespace gl = gmdf::link;
+namespace gm = gmdf::meta;
+namespace gp = gmdf::proto;
+namespace rt = gmdf::rt;
+
+namespace {
+
+// A hand-built scenario driven by a ScriptedTransport: `count` signal
+// updates spaced `spacing` apart, starting at `spacing`. The target is
+// only a clock source for the scheduler; no generated code runs.
+struct Scripted {
+    std::unique_ptr<gp::Scenario> scenario;
+    gco::DebugSession* session = nullptr;
+    gl::ScriptedTransport* transport = nullptr;
+};
+
+Scripted scripted_scenario(const std::string& name, int count, rt::SimTime spacing) {
+    Scripted out;
+    out.scenario = std::make_unique<gp::Scenario>(name);
+    auto& sys = out.scenario->sys;
+    auto sig = sys.add_signal("x", "real_");
+    auto actor = sys.add_actor("act", 10'000);
+    auto sm = actor.add_sm("machine", {"go"}, {"out"});
+    sm.add_state("idle", {{"out", "0"}});
+    auto transport = std::make_unique<gl::ScriptedTransport>();
+    for (int i = 1; i <= count; ++i)
+        transport->push({gl::Cmd::SignalUpdate, static_cast<std::uint32_t>(sig.raw), 0,
+                         static_cast<float>(i)},
+                        i * spacing);
+    out.transport = transport.get();
+    out.scenario->session = std::make_unique<gco::DebugSession>(sys.model());
+    out.session = out.scenario->session.get();
+    out.session->attach(std::move(transport));
+    return out;
+}
+
+// ---- registry lifecycle -----------------------------------------------------
+
+TEST(Registry, OpenCloseReopenUnderTheSameName) {
+    gh::HubController hub;
+    auto* first = hub.open("blinker", "t1");
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->id, 1);
+
+    // A live name cannot be opened twice.
+    auto dup = hub.execute_line("session open blinker t1");
+    EXPECT_EQ(dup.code, gp::ErrorCode::BadState);
+
+    ASSERT_TRUE(hub.execute_line("session close t1").ok());
+    EXPECT_EQ(hub.registry().size(), 0u);
+
+    // Reopening the name works and yields a fresh, never-reused id.
+    auto reopened = hub.execute_line("session open blinker t1");
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened.body[0], "session 2 t1 opened (scenario blinker)");
+    EXPECT_EQ(hub.registry().opened(), 2u);
+    EXPECT_EQ(hub.registry().closed(), 1u);
+}
+
+TEST(Registry, RejectsBadNamesAndUnknownScenarios) {
+    gh::HubController hub;
+    EXPECT_EQ(hub.execute_line("session open no_such_scenario").code,
+              gp::ErrorCode::NotFound);
+    EXPECT_EQ(hub.execute_line("session open blinker \"two words\"").code,
+              gp::ErrorCode::BadArgument);
+    EXPECT_EQ(hub.execute_line("session open").code, gp::ErrorCode::BadArgument);
+    EXPECT_EQ(hub.registry().size(), 0u);
+    EXPECT_FALSE(gh::SessionRegistry::valid_name(""));
+    EXPECT_FALSE(gh::SessionRegistry::valid_name("a b"));
+    EXPECT_FALSE(gh::SessionRegistry::valid_name("a@b"));
+    EXPECT_TRUE(gh::SessionRegistry::valid_name("Cell_7-a"));
+    // All-digit names would shadow session ids in @<tag> resolution.
+    EXPECT_FALSE(gh::SessionRegistry::valid_name("1"));
+    EXPECT_FALSE(gh::SessionRegistry::valid_name("42"));
+    EXPECT_TRUE(gh::SessionRegistry::valid_name("42a"));
+}
+
+TEST(Registry, AllDigitNamesCannotShadowIds) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "a"), nullptr); // id 1
+    auto resp = hub.execute_line("session open turntable 1");
+    EXPECT_EQ(resp.code, gp::ErrorCode::BadArgument)
+        << "a session named '1' could never be addressed";
+    EXPECT_EQ(hub.registry().size(), 1u);
+}
+
+// ---- @<session> routing -----------------------------------------------------
+
+TEST(Routing, AddressedRequestsReachTheirSessionWithoutSwitching) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "a"), nullptr);
+    ASSERT_NE(hub.open("turntable", "b"), nullptr);
+    ASSERT_EQ(hub.current()->name, "b");
+
+    auto by_name = hub.execute_line("@a info");
+    ASSERT_TRUE(by_name.ok());
+    EXPECT_EQ(by_name.body[0], "model blinker_system");
+    auto by_id = hub.execute_line("@1 info");
+    ASSERT_TRUE(by_id.ok());
+    EXPECT_EQ(by_id.body[0], "model blinker_system");
+    EXPECT_EQ(hub.current()->name, "b") << "@ routing must not switch current";
+}
+
+TEST(Routing, ClosedSessionIsAStructuredErrorNotACrash) {
+    gh::HubController hub;
+    auto* entry = hub.open("blinker", "gone");
+    ASSERT_NE(entry, nullptr);
+    int id = entry->id;
+    ASSERT_TRUE(hub.execute_line("session close gone").ok());
+
+    auto by_id = hub.execute_line("@" + std::to_string(id) + " query stats");
+    EXPECT_EQ(by_id.code, gp::ErrorCode::NotFound);
+    EXPECT_NE(by_id.message.find("no session"), std::string::npos);
+    auto by_name = hub.execute_line("@gone info");
+    EXPECT_EQ(by_name.code, gp::ErrorCode::NotFound);
+    EXPECT_EQ(hub.stats().request_errors, 2u);
+}
+
+TEST(Routing, AddressedSessionVerbsAreRejectedNotMisrouted) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "a"), nullptr);
+    ASSERT_NE(hub.open("blinker", "b"), nullptr);
+    // '@a session close' must not silently close the current session.
+    auto resp = hub.execute_line("@a session close");
+    EXPECT_EQ(resp.code, gp::ErrorCode::BadArgument);
+    EXPECT_EQ(hub.registry().size(), 2u);
+}
+
+TEST(Routing, MalformedPrefixAndNoSessionErrors) {
+    gh::HubController hub;
+    EXPECT_EQ(hub.execute_line("@").code, gp::ErrorCode::BadRequest);
+    EXPECT_EQ(hub.execute_line("@1").code, gp::ErrorCode::BadRequest);
+    EXPECT_EQ(hub.execute_line("info").code, gp::ErrorCode::BadState);
+    auto quit = hub.execute_line("quit");
+    ASSERT_TRUE(quit.ok()) << "quit must succeed even with no open session";
+    EXPECT_EQ(quit.body[0], "bye");
+}
+
+TEST(Routing, CloseCurrentFallsBackToLowestId) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "a"), nullptr);
+    ASSERT_NE(hub.open("blinker", "b"), nullptr);
+    ASSERT_NE(hub.open("blinker", "c"), nullptr);
+    auto close = hub.execute_line("session close");
+    ASSERT_TRUE(close.ok());
+    EXPECT_EQ(close.body[0], "session 3 c closed");
+    EXPECT_EQ(close.body[1], "current a");
+    ASSERT_TRUE(hub.execute_line("session use b").ok());
+    EXPECT_EQ(hub.current()->name, "b");
+}
+
+// ---- scheduler --------------------------------------------------------------
+
+TEST(Scheduler, FloodingTransportCannotStarveQuietSessions) {
+    gh::HubController hub;
+    hub.scheduler().set_budget(5 * rt::kMs);
+    // 5000 commands inside the first 5 ms vs 5 commands over 50 ms.
+    Scripted flood = scripted_scenario("flood", 5000, rt::kUs);
+    Scripted quiet = scripted_scenario("quiet", 5, 10 * rt::kMs);
+    ASSERT_NE(hub.adopt(std::move(flood.scenario), "flood"), nullptr);
+    ASSERT_NE(hub.adopt(std::move(quiet.scenario), "quiet"), nullptr);
+
+    ASSERT_TRUE(hub.execute_line("run 100").ok());
+
+    // Both sessions consumed their whole stream and the full duration.
+    EXPECT_EQ(flood.session->engine().stats().commands, 5000u);
+    EXPECT_EQ(quiet.session->engine().stats().commands, 5u);
+    const auto& stats = hub.scheduler().stats();
+    ASSERT_EQ(stats.size(), 2u);
+    const auto& flood_stats = stats.at(1);
+    const auto& quiet_stats = stats.at(2);
+    EXPECT_EQ(flood_stats.slices, 20u); // 100 ms / 5 ms budget
+    EXPECT_EQ(flood_stats.slices, quiet_stats.slices);
+    EXPECT_EQ(flood_stats.advanced, 100 * rt::kMs);
+    EXPECT_EQ(quiet_stats.advanced, 100 * rt::kMs);
+}
+
+TEST(Scheduler, RejectsNonPositiveBudget) {
+    gh::PollScheduler scheduler;
+    EXPECT_THROW(scheduler.set_budget(0), std::invalid_argument);
+    EXPECT_THROW(scheduler.set_budget(-5), std::invalid_argument);
+}
+
+// ---- events -----------------------------------------------------------------
+
+TEST(Events, TaggingLatchesOnceTheHubGoesMultiSession) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "solo"), nullptr);
+    ASSERT_TRUE(hub.execute_line("pause").ok());
+    auto single = hub.drain_event_lines();
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0], "* state-change waiting -> paused\n");
+
+    ASSERT_NE(hub.open("blinker", "other"), nullptr);
+    ASSERT_TRUE(hub.execute_line("@solo resume").ok());
+    auto tagged = hub.drain_event_lines();
+    ASSERT_EQ(tagged.size(), 1u);
+    EXPECT_EQ(tagged[0], "[solo] * state-change paused -> animating\n");
+
+    // Tagging stays on after shrinking back to one session, so a
+    // transcript never changes shape mid-stream.
+    ASSERT_TRUE(hub.execute_line("session close other").ok());
+    ASSERT_TRUE(hub.execute_line("@solo pause").ok());
+    auto still_tagged = hub.drain_event_lines();
+    ASSERT_EQ(still_tagged.size(), 1u);
+    EXPECT_EQ(still_tagged[0], "[solo] * state-change animating -> paused\n");
+}
+
+TEST(Events, QueueDropsAreCountedInEngineStats) {
+    gh::HubController hub;
+    auto* entry = hub.open("blinker", "busy");
+    ASSERT_NE(entry, nullptr);
+    // Overflow the 4096-deep controller queue without draining.
+    for (int i = 0; i < 4100; ++i)
+        entry->controller().on_divergence({i, {}, "synthetic divergence"});
+    EXPECT_EQ(entry->controller().dropped_events(), 4u);
+    auto stats = hub.execute_line("query stats");
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.body[6], "events-emitted 4100");
+    EXPECT_EQ(stats.body[7], "events-dropped 4");
+    // Routing `query stats` swept the controller queue into the hub;
+    // the 4096 surviving events are all there.
+    EXPECT_EQ(hub.drain_event_lines().size(), 4096u);
+    EXPECT_FALSE(entry->controller().has_events());
+}
+
+TEST(Events, HubQueueIsBoundedWhenNobodyDrains) {
+    gh::HubController hub;
+    hub.set_event_capacity(8);
+    auto* entry = hub.open("blinker", "busy");
+    ASSERT_NE(entry, nullptr);
+    for (int i = 0; i < 20; ++i) {
+        entry->controller().on_divergence({i, {}, "synthetic divergence"});
+        ASSERT_TRUE(hub.execute_line("info").ok()); // sweeps into the hub queue
+    }
+    EXPECT_EQ(hub.stats().events_dropped, 12u);
+    auto lines = hub.drain_event_lines();
+    ASSERT_EQ(lines.size(), 8u);
+    EXPECT_NE(lines.front().find("@12ns"), std::string::npos) << "oldest evicted first";
+}
+
+TEST(Scheduler, StatsForgottenWhenSessionCloses) {
+    gh::HubController hub;
+    auto* a = hub.open("blinker", "a");
+    ASSERT_NE(a, nullptr);
+    int id = a->id;
+    ASSERT_TRUE(hub.execute_line("run 20").ok());
+    EXPECT_TRUE(hub.scheduler().stats().contains(id));
+    auto total = hub.scheduler().total_slices();
+    ASSERT_TRUE(hub.execute_line("session close a").ok());
+    EXPECT_FALSE(hub.scheduler().stats().contains(id))
+        << "per-session counters must not leak across session churn";
+    EXPECT_EQ(hub.scheduler().total_slices(), total);
+}
+
+// ---- hub stats --------------------------------------------------------------
+
+TEST(HubStats, AggregatesAcrossLiveSessions) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "a"), nullptr);
+    ASSERT_NE(hub.open("blinker", "b"), nullptr);
+    ASSERT_TRUE(hub.execute_line("@a info").ok());
+    ASSERT_TRUE(hub.execute_line("@a info").ok());
+    ASSERT_TRUE(hub.execute_line("@b info").ok());
+    auto stats = hub.execute_line("session stats");
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.body[0], "sessions 2 live (opened 2, closed 0)");
+    EXPECT_EQ(stats.body[9], "requests 3"); // aggregate of both sessions
+    EXPECT_EQ(hub.stats().requests, 1u);    // only `session stats` itself
+}
+
+TEST(HubStats, TotalsStayMonotonicAcrossCloses) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "a"), nullptr);
+    ASSERT_NE(hub.open("blinker", "b"), nullptr);
+    ASSERT_TRUE(hub.execute_line("@a info").ok());
+    ASSERT_TRUE(hub.execute_line("@b info").ok());
+    auto before = hub.registry().aggregate_stats();
+    EXPECT_EQ(before.requests, 2u);
+    ASSERT_TRUE(hub.execute_line("session close a").ok());
+    auto after = hub.registry().aggregate_stats();
+    EXPECT_EQ(after.requests, before.requests)
+        << "closing a session must not roll hub totals backwards";
+    EXPECT_EQ(after.commands, before.commands);
+    EXPECT_EQ(after.events_emitted, before.events_emitted);
+}
+
+TEST(HubStats, HelpMergesSessionAndHubRegistries) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "a"), nullptr);
+    auto help = hub.execute_line("help");
+    ASSERT_TRUE(help.ok());
+    bool has_session_row = false, has_run_row = false;
+    for (const auto& line : help.body) {
+        if (line.find("session open <scenario>") != std::string::npos)
+            has_session_row = true;
+        if (line.find("run <ms>") != std::string::npos) has_run_row = true;
+    }
+    EXPECT_TRUE(has_session_row);
+    EXPECT_TRUE(has_run_row);
+    auto topic = hub.execute_line("help session");
+    ASSERT_TRUE(topic.ok());
+    EXPECT_EQ(topic.body.size(), 5u);
+}
+
+// ---- bounded trace recorder -------------------------------------------------
+
+TEST(TraceRing, EvictsOldestAndCountsDrops) {
+    gco::TraceRecorder trace;
+    EXPECT_EQ(trace.capacity(), 0u);
+    for (int i = 0; i < 10; ++i)
+        trace.record({gl::Cmd::SignalUpdate, 1, 0, static_cast<float>(i)}, i);
+    EXPECT_EQ(trace.size(), 10u);
+    EXPECT_EQ(trace.dropped(), 0u);
+
+    trace.set_capacity(4); // shrink below current size: evict oldest
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.dropped(), 6u);
+    EXPECT_EQ(trace.events().front().t, 6);
+
+    trace.record({gl::Cmd::SignalUpdate, 1, 0, 10.0f}, 10);
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.dropped(), 7u);
+    EXPECT_EQ(trace.events().front().t, 7);
+    EXPECT_EQ(trace.events().back().t, 10);
+
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.dropped(), 0u);
+    EXPECT_EQ(trace.capacity(), 4u) << "clear resets contents, not configuration";
+}
+
+TEST(TraceRing, BuilderKnobAndTraceVerbReportDrops) {
+    gc::SystemBuilder sys{"ringdemo"};
+    auto sig = sys.add_signal("x", "real_");
+    auto actor = sys.add_actor("act", 10'000);
+    auto sm = actor.add_sm("machine", {"go"}, {"out"});
+    sm.add_state("idle", {{"out", "0"}});
+    auto transport = std::make_unique<gl::ScriptedTransport>();
+    for (int i = 1; i <= 5; ++i)
+        transport->push({gl::Cmd::SignalUpdate, static_cast<std::uint32_t>(sig.raw), 0,
+                         static_cast<float>(i)},
+                        i * rt::kMs);
+    auto session = gco::SessionBuilder(sys.model())
+                       .trace_capacity(2)
+                       .transport(std::move(transport))
+                       .build();
+    session->transports()[0]->poll(session->engine(), 10 * rt::kMs);
+    EXPECT_EQ(session->trace().size(), 2u);
+    EXPECT_EQ(session->trace().dropped(), 3u);
+
+    auto resp = session->controller().execute_line("trace vcd");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.body[0], "(trace ring dropped 3 oldest events; capacity 2)");
+}
+
+// ---- golden fleet transcript ------------------------------------------------
+
+TEST(Golden, FleetScriptTranscriptIsByteStable) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "blinker"), nullptr);
+    std::ifstream script(std::string(GMDF_SOURCE_DIR) + "/examples/fleet.gds");
+    ASSERT_TRUE(script) << "missing examples/fleet.gds";
+    std::ostringstream out;
+    auto result = gp::run_script(hub, script, out);
+    EXPECT_EQ(result.errors, 0u);
+    EXPECT_TRUE(result.quit);
+
+    std::ifstream golden_file(std::string(GMDF_SOURCE_DIR) +
+                              "/tests/golden/fleet_transcript.txt");
+    ASSERT_TRUE(golden_file) << "missing tests/golden/fleet_transcript.txt";
+    std::ostringstream golden;
+    golden << golden_file.rdbuf();
+    EXPECT_EQ(out.str(), golden.str());
+}
+
+} // namespace

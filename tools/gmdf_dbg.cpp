@@ -1,14 +1,18 @@
 // gmdf_dbg — the scriptable debugger driver.
 //
-// Serves the GMDF protocol over stdin/stdout against a built-in demo
-// scenario: an interactive REPL by default, or batch execution of a
-// scenario script (one request per line) with --script. Script mode
-// echoes every command into the transcript, so a run is a byte-stable
-// text fixture:
+// Serves the GMDF protocol over stdin/stdout from a multi-session debug
+// hub seeded with one built-in demo scenario: an interactive REPL by
+// default, or batch execution of a scenario script (one request per
+// line) with --script. More sessions can be opened at runtime
+// (`session open <scenario> [name]`) and addressed per request
+// (`@<session> <verb ...>`); with a single session every transcript is
+// byte-identical to the pre-hub driver. Script mode echoes every
+// command into the transcript, so a run is a byte-stable text fixture:
 //
 //   ./gmdf_dbg                                  # REPL on the blinker
 //   ./gmdf_dbg --model turntable                # REPL on the turntable
 //   ./gmdf_dbg --script examples/quickstart.gds # scripted scenario
+//   ./gmdf_dbg --script examples/fleet.gds      # two targets, one hub
 //
 // Exit status: 0 when every request succeeded, 1 on any error response,
 // 2 on bad usage.
@@ -16,6 +20,7 @@
 #include <iostream>
 #include <string>
 
+#include "hub/controller.hpp"
 #include "proto/scenarios.hpp"
 #include "proto/script.hpp"
 
@@ -23,8 +28,8 @@ namespace {
 
 int usage(std::ostream& out, int code) {
     out << "usage: gmdf_dbg [--model <name>] [--script <file>]\n\n"
-        << "Drives a GMDF debug session over the text protocol.\n"
-        << "  --model <name>   built-in scenario to serve:";
+        << "Drives a GMDF debug hub over the text protocol.\n"
+        << "  --model <name>   built-in scenario of the initial session:";
     for (const std::string& name : gmdf::proto::scenario_names()) out << " " << name;
     out << " (default blinker)\n"
         << "  --script <file>  run the script instead of an interactive REPL\n"
@@ -50,8 +55,9 @@ int main(int argc, char** argv) {
         }
     }
 
-    auto scenario = gmdf::proto::make_scenario(model);
-    if (scenario == nullptr) {
+    gmdf::hub::HubController hub;
+    auto* seed = hub.open(model, model);
+    if (seed == nullptr) {
         std::cerr << "gmdf_dbg: no scenario '" << model << "'\n";
         return usage(std::cerr, 2);
     }
@@ -62,14 +68,15 @@ int main(int argc, char** argv) {
             std::cerr << "gmdf_dbg: cannot open script '" << script_path << "'\n";
             return 2;
         }
-        auto result = gmdf::proto::run_script(scenario->controller(), script, std::cout,
+        auto result = gmdf::proto::run_script(hub, script, std::cout,
                                               {/*echo=*/true, /*prompt=*/""});
         return result.errors == 0 ? 0 : 1;
     }
 
-    std::cout << "gmdf_dbg: scenario '" << scenario->name
-              << "' attached over the active command interface ('help' lists verbs)\n";
-    auto result = gmdf::proto::run_script(scenario->controller(), std::cin, std::cout,
+    std::cout << "gmdf_dbg: scenario '" << seed->name
+              << "' hosted as session 1 over the active command interface "
+                 "('help' lists verbs)\n";
+    auto result = gmdf::proto::run_script(hub, std::cin, std::cout,
                                           {/*echo=*/false, /*prompt=*/"gmdf> "});
     if (!result.quit) std::cout << "\n";
     return result.errors == 0 ? 0 : 1;

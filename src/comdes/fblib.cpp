@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
 #include "comdes/metamodel.hpp"
+#include "expr/compile.hpp"
 #include "expr/eval.hpp"
 #include "expr/parser.hpp"
 
@@ -192,41 +194,48 @@ private:
     std::size_t head_ = 0;
 };
 
-/// Kernel for expression_ blocks: evaluates a compiled expression over the
-/// input pins (pin order = sorted free variables).
+/// Raises the same exception class the tree-walk interpreter would for a
+/// fault surfaced by the VM as a result code.
+[[noreturn]] void throw_vm_fault(expr::VmStatus status) {
+    throw expr::EvalError(std::string("expression fault: ") + expr::to_string(status));
+}
+
+/// Kernel for expression_ blocks: evaluates a bytecode-compiled
+/// expression over the input pins. Pin order = sorted free variables =
+/// VM slot order, so the input span is the slot table — no lookup, no
+/// boxing, no allocation per step.
 class ExprKernel final : public FBKernel {
 public:
-    ExprKernel(expr::ExprPtr ast, std::vector<std::string> vars)
-        : ast_(std::move(ast)), vars_(std::move(vars)) {}
+    ExprKernel(const expr::Expr& ast, std::vector<std::string> vars)
+        : compiled_(expr::compile(ast, vars)), n_vars_(vars.size()) {}
 
     void reset() override {}
 
     void step(std::span<const double> in, std::span<double> out, double) override {
-        auto lookup = [&](std::string_view name) -> meta::Value {
-            for (std::size_t i = 0; i < vars_.size(); ++i)
-                if (vars_[i] == name) return meta::Value(in[i]);
-            return {};
-        };
-        out[0] = expr::eval(*ast_, lookup).as_number();
+        double y;
+        if (expr::VmStatus s = compiled_.run(in, y); s != expr::VmStatus::Ok)
+            throw_vm_fault(s);
+        out[0] = y;
     }
 
     [[nodiscard]] std::uint32_t cost_cycles() const override {
-        return 10 + 6 * static_cast<std::uint32_t>(vars_.size());
+        return 10 + 6 * static_cast<std::uint32_t>(n_vars_);
     }
 
 private:
-    expr::ExprPtr ast_;
-    std::vector<std::string> vars_;
+    expr::CompiledExpr compiled_;
+    std::size_t n_vars_;
 };
 
-/// Compiled transition: indexes into the SM's pin arrays plus compiled
-/// guard/action expressions.
+/// Compiled transition: indexes into the SM's pin arrays plus bytecode-
+/// compiled guard/action expressions (slots = input pin indices, resolved
+/// once here rather than by string scan on every scan step).
 struct CompiledTransition {
     meta::ObjectId id;
     std::size_t from = 0, to = 0;
     int event_pin = -1; // -1: no event (guard-only)
-    expr::ExprPtr guard; // null: always true
-    std::vector<std::pair<std::size_t, expr::ExprPtr>> actions; // out pin -> expr
+    std::optional<expr::CompiledExpr> guard; // nullopt: always true
+    std::vector<std::pair<std::size_t, expr::CompiledExpr>> actions; // out pin -> expr
     int priority = 0;
     std::size_t model_order = 0;
 };
@@ -234,7 +243,7 @@ struct CompiledTransition {
 struct CompiledState {
     meta::ObjectId id;
     std::string name;
-    std::vector<std::pair<std::size_t, expr::ExprPtr>> entry_actions;
+    std::vector<std::pair<std::size_t, expr::CompiledExpr>> entry_actions;
 };
 
 /// State-machine kernel: event-driven Moore/Mealy hybrid. At each step it
@@ -244,10 +253,9 @@ class SmKernel final : public FBKernel {
 public:
     SmKernel(meta::ObjectId sm_id, std::vector<CompiledState> states,
              std::vector<CompiledTransition> transitions, std::size_t initial,
-             std::vector<std::string> in_pins, std::size_t n_outputs, SmObserver* observer)
+             std::size_t n_outputs, SmObserver* observer)
         : sm_id_(sm_id), states_(std::move(states)), transitions_(std::move(transitions)),
-          initial_(initial), in_pins_(std::move(in_pins)), n_outputs_(n_outputs),
-          observer_(observer) {
+          initial_(initial), n_outputs_(n_outputs), observer_(observer) {
         // Transition evaluation order: priority ascending, then model order.
         std::stable_sort(transitions_.begin(), transitions_.end(),
                          [](const auto& a, const auto& b) { return a.priority < b.priority; });
@@ -262,14 +270,14 @@ public:
 
     void step(std::span<const double> in, std::span<double> out, double dt) override {
         (void)dt;
-        auto lookup = [&](std::string_view name) -> meta::Value {
-            for (std::size_t i = 0; i < in_pins_.size(); ++i)
-                if (in_pins_[i] == name) return meta::Value(in[i]);
-            return {};
-        };
-        auto run_actions = [&](const std::vector<std::pair<std::size_t, expr::ExprPtr>>& as) {
-            for (const auto& [pin, e] : as)
-                held_outputs_[pin] = expr::eval(*e, lookup).as_number();
+        auto run_actions =
+            [&](const std::vector<std::pair<std::size_t, expr::CompiledExpr>>& as) {
+            for (const auto& [pin, ce] : as) {
+                double y;
+                if (expr::VmStatus s = ce.run(in, y); s != expr::VmStatus::Ok)
+                    throw_vm_fault(s);
+                held_outputs_[pin] = y;
+            }
         };
 
         if (!entered_) {
@@ -284,7 +292,12 @@ public:
             if (t.from != current_) continue;
             if (t.event_pin >= 0 && !truthy(in[static_cast<std::size_t>(t.event_pin)]))
                 continue;
-            if (t.guard && !expr::eval_bool(*t.guard, lookup)) continue;
+            if (t.guard) {
+                double g;
+                if (expr::VmStatus s = t.guard->run(in, g); s != expr::VmStatus::Ok)
+                    throw_vm_fault(s);
+                if (g == 0.0) continue; // eval_bool truthiness on the coerced result
+            }
             run_actions(t.actions);
             current_ = t.to;
             if (observer_) observer_->on_transition(sm_id_, t.id);
@@ -306,7 +319,6 @@ private:
     std::vector<CompiledState> states_;
     std::vector<CompiledTransition> transitions_;
     std::size_t initial_;
-    std::vector<std::string> in_pins_;
     std::size_t n_outputs_;
     SmObserver* observer_;
     std::size_t current_ = 0;
@@ -395,7 +407,7 @@ std::unique_ptr<FBKernel> make_basic_kernel(const meta::MObject& fb) {
     if (kind == "expression_") {
         auto ast = expr::parse(fb.attr("expr").as_string());
         auto vars = expr::free_variables(*ast);
-        return std::make_unique<ExprKernel>(std::move(ast), std::move(vars));
+        return std::make_unique<ExprKernel>(*ast, std::move(vars));
     }
     const KindInfo& k = kind_info(kind);
     auto params = params_of(fb);
@@ -419,12 +431,17 @@ std::unique_ptr<FBKernel> make_sm_kernel(const meta::Model& model, const meta::M
                                         "'");
         return static_cast<std::size_t>(idx);
     };
+    // Guards and actions compile to bytecode with slots = input pin
+    // indices (the kernel's input span doubles as the VM slot table).
+    auto compile_expr = [&](const std::string& src) {
+        return expr::compile(*expr::parse(src), pins.inputs);
+    };
     auto compile_actions = [&](const meta::MObject& owner, const char* ref) {
-        std::vector<std::pair<std::size_t, expr::ExprPtr>> out;
+        std::vector<std::pair<std::size_t, expr::CompiledExpr>> out;
         for (meta::ObjectId a_id : owner.refs(ref)) {
             const meta::MObject& a = model.at(a_id);
             out.emplace_back(out_index(a.attr("target").as_string(), "action"),
-                             expr::parse(a.attr("expr").as_string()));
+                             compile_expr(a.attr("expr").as_string()));
         }
         return out;
     };
@@ -458,7 +475,7 @@ std::unique_ptr<FBKernel> make_sm_kernel(const meta::Model& model, const meta::M
                                             "' is not an input of SM '" + sm_fb.name() + "'");
         }
         const meta::Value& g = t.attr("guard");
-        if (g.is_string() && !g.as_string().empty()) ct.guard = expr::parse(g.as_string());
+        if (g.is_string() && !g.as_string().empty()) ct.guard = compile_expr(g.as_string());
         ct.actions = compile_actions(t, "actions");
         ct.priority = static_cast<int>(t.attr("priority").as_int());
         ct.model_order = order++;
@@ -470,7 +487,7 @@ std::unique_ptr<FBKernel> make_sm_kernel(const meta::Model& model, const meta::M
         throw std::invalid_argument("SM '" + sm_fb.name() + "' initial state not in states");
 
     return std::make_unique<SmKernel>(sm_fb.id(), std::move(states), std::move(transitions),
-                                      init_it->second, pins.inputs, n_outputs, observer);
+                                      init_it->second, n_outputs, observer);
 }
 
 } // namespace gmdf::comdes

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "comdes/metamodel.hpp"
-#include "expr/eval.hpp"
+#include "expr/compile.hpp"
 #include "expr/parser.hpp"
 
 namespace gmdf::core {
@@ -30,11 +30,18 @@ const char* to_string(Breakpoint::Kind kind) {
 }
 
 DebuggerEngine::DebuggerEngine(const meta::Model& design) : design_(&design) {
-    // Pre-index signal names for predicate breakpoints.
+    // Pre-index signals into dense predicate slots: compiled predicates
+    // address them by integer index, so each SIGNAL_UPDATE costs one id
+    // lookup and each predicate evaluation costs none.
     const auto& c = comdes::comdes_metamodel();
     if (&design.metamodel() == &c.mm) {
-        for (const MObject* sig : design.all_of(*c.signal))
-            signal_by_name_[sig->name()] = sig->id().raw;
+        for (const MObject* sig : design.all_of(*c.signal)) {
+            int slot = static_cast<int>(signal_slots_.size());
+            slot_of_signal_[sig->id().raw] = slot;
+            signal_slot_by_name_[sig->name()] = slot;
+            signal_slots_.push_back(0.0);
+        }
+        slot_updated_.assign(signal_slots_.size(), false);
     }
 }
 
@@ -66,8 +73,18 @@ void DebuggerEngine::ingest(const link::Command& cmd, rt::SimTime t) {
 
     // Track model-level state before reactions so breakpoints and
     // consistency checks see the up-to-date picture.
-    if (cmd.kind == link::Cmd::SignalUpdate)
-        signal_values_[cmd.a] = static_cast<double>(cmd.value);
+    if (cmd.kind == link::Cmd::SignalUpdate) {
+        double v = static_cast<double>(cmd.value);
+        if (auto it = slot_of_signal_.find(cmd.a); it != slot_of_signal_.end()) {
+            auto slot = static_cast<std::size_t>(it->second);
+            signal_slots_[slot] = v;
+            slot_updated_[slot] = true;
+        } else {
+            // Ids outside the design model's signal set (generic models)
+            // fall back to the sparse map.
+            signal_values_[cmd.a] = v;
+        }
+    }
 
     check_consistency(cmd, t);
 
@@ -189,20 +206,12 @@ void DebuggerEngine::check_breakpoints(const link::Command& cmd, rt::SimTime t) 
                 break;
             case Breakpoint::Kind::SignalPredicate: {
                 if (cmd.kind != link::Cmd::SignalUpdate) break;
-                auto ast = predicates_.find(it->first);
-                if (ast == predicates_.end()) break; // malformed: never fires
-                try {
-                    hit = expr::eval_bool(*ast->second,
-                                          [&](std::string_view name) -> meta::Value {
-                        auto sit = signal_by_name_.find(std::string(name));
-                        if (sit == signal_by_name_.end()) return {};
-                        auto vit = signal_values_.find(sit->second);
-                        return vit == signal_values_.end() ? meta::Value(0.0)
-                                                           : meta::Value(vit->second);
-                    });
-                } catch (const std::exception&) {
-                    hit = false; // evaluation errors never fire
-                }
+                auto ce = predicates_.find(it->first);
+                if (ce == predicates_.end()) break; // malformed: never fires
+                double v;
+                // Evaluation faults (unknown signal name) never fire —
+                // they are result codes now, not exceptions.
+                hit = ce->second.run(signal_slots_, v) == expr::VmStatus::Ok && v != 0.0;
                 break;
             }
             }
@@ -251,7 +260,13 @@ int DebuggerEngine::add_breakpoint(Breakpoint bp) {
     int handle = next_break_++;
     if (bp.kind == Breakpoint::Kind::SignalPredicate) {
         try {
-            predicates_.emplace(handle, expr::parse(bp.predicate));
+            auto ast = expr::parse(bp.predicate);
+            predicates_.emplace(handle,
+                                expr::compile(*ast, [&](std::string_view name) -> int {
+                                    auto it = signal_slot_by_name_.find(name);
+                                    return it == signal_slot_by_name_.end() ? -1
+                                                                            : it->second;
+                                }));
         } catch (const std::exception&) {
             // Malformed predicate: breakpoint exists but never fires.
         }
@@ -266,6 +281,11 @@ bool DebuggerEngine::remove_breakpoint(int handle) {
 }
 
 std::optional<double> DebuggerEngine::signal_value(ObjectId signal) const {
+    if (auto it = slot_of_signal_.find(signal.raw); it != slot_of_signal_.end()) {
+        auto slot = static_cast<std::size_t>(it->second);
+        if (!slot_updated_[slot]) return std::nullopt;
+        return signal_slots_[slot];
+    }
     auto it = signal_values_.find(signal.raw);
     if (it == signal_values_.end()) return std::nullopt;
     return it->second;

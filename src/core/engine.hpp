@@ -16,11 +16,12 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/bindings.hpp"
 #include "core/observer.hpp"
-#include "expr/ast.hpp"
+#include "expr/vm.hpp"
 #include "link/commands.hpp"
 #include "link/transport.hpp"
 #include "meta/model.hpp"
@@ -127,16 +128,26 @@ private:
     bool pause_on_next_command_ = false;
 
     std::map<int, Breakpoint> breaks_;
-    /// Parsed predicate per SignalPredicate breakpoint (absent for
-    /// malformed predicates, which never fire); avoids re-parsing on
-    /// every ingested command.
-    std::map<int, expr::ExprPtr> predicates_;
+    /// Bytecode-compiled predicate per SignalPredicate breakpoint
+    /// (absent for malformed predicates, which never fire). Signal names
+    /// are resolved to dense slot indices once at add_breakpoint time;
+    /// evaluation reads signal_slots_ directly — no name lookup, no
+    /// boxing, no exceptions on the per-command hot path.
+    std::map<int, expr::CompiledExpr> predicates_;
     int next_break_ = 1;
 
     std::map<std::uint64_t, std::uint64_t> current_state_;   // sm -> state
     std::map<std::uint64_t, std::uint32_t> pending_transition_; // sm -> transition
-    std::map<std::uint64_t, double> signal_values_;          // signal -> value
-    std::map<std::string, std::uint64_t> signal_by_name_;
+    /// Values for signal ids with no pre-indexed slot (generic models).
+    std::map<std::uint64_t, double> signal_values_;
+    /// Dense predicate slot table: slot i = i-th design-model signal,
+    /// defaulting to 0.0 until the first SIGNAL_UPDATE (the same default
+    /// the old per-name lookup supplied). slot_updated_ distinguishes
+    /// "never seen" for signal_value().
+    std::vector<double> signal_slots_;
+    std::vector<bool> slot_updated_;
+    std::unordered_map<std::uint64_t, int> slot_of_signal_;  // signal id -> slot
+    std::map<std::string, int, std::less<>> signal_slot_by_name_;
 
     EngineStats stats_;
 };

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "expr/vm.hpp"
+
 namespace gmdf::expr {
 
 namespace {
@@ -118,13 +120,7 @@ Value call_builtin(const std::string& fn, const std::vector<Value>& args) {
 
 } // namespace
 
-bool is_builtin(std::string_view fn) {
-    static const char* names[] = {"min", "max", "abs", "clamp", "floor", "ceil", "sqrt",
-                                  "sin", "cos", "exp", "log", "pow", "sign"};
-    for (const char* n : names)
-        if (fn == n) return true;
-    return false;
-}
+bool is_builtin(std::string_view fn) { return find_builtin(fn) != nullptr; }
 
 Value eval(const Expr& e, const VarLookup& vars) {
     return std::visit(

@@ -12,13 +12,12 @@ void Simulator::at(SimTime t, std::function<void()> fn) {
 
 void Simulator::every(SimTime start, SimTime period, std::function<void()> fn) {
     if (period <= 0) throw std::invalid_argument("period must be positive");
-    // The wrapper reschedules itself; shared_ptr lets it self-reference.
-    auto wrapper = std::make_shared<std::function<void(SimTime)>>();
-    *wrapper = [this, period, fn = std::move(fn), wrapper](SimTime due) {
-        fn();
-        at(due + period, [wrapper, due, period] { (*wrapper)(due + period); });
-    };
-    at(start, [wrapper, start] { (*wrapper)(start); });
+    if (start < now_) throw std::invalid_argument("cannot schedule event in the past");
+    // One closure for the task's whole lifetime: step() re-arms periodic
+    // events by moving the same Event back into the queue, so a periodic
+    // tick allocates nothing (the old implementation re-wrapped a fresh
+    // heap-allocated std::function every period).
+    queue_.push({start, seq_++, std::move(fn), period});
 }
 
 bool Simulator::step() {
@@ -28,6 +27,13 @@ bool Simulator::step() {
     queue_.pop();
     now_ = ev.t;
     ev.fn();
+    if (ev.period > 0) {
+        // Re-arm after the handler, matching the old wrapper's ordering:
+        // events the handler scheduled get earlier sequence numbers.
+        ev.t += ev.period;
+        ev.seq = seq_++;
+        queue_.push(std::move(ev));
+    }
     return true;
 }
 

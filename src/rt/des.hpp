@@ -54,6 +54,7 @@ private:
         SimTime t;
         std::uint64_t seq;
         std::function<void()> fn;
+        SimTime period = 0; ///< > 0: re-armed after dispatch (every())
     };
     struct Later {
         bool operator()(const Event& a, const Event& b) const {

@@ -2,26 +2,32 @@
 
 #include <stdexcept>
 
+#include "rt/symtab.hpp"
+
 namespace gmdf::rt {
 
 std::uint32_t MemoryMap::alloc(const std::string& name) {
-    if (by_name_.contains(name))
+    auto it = name_lower_bound(by_name_, name);
+    if (it != by_name_.end() && it->first == name)
         throw std::invalid_argument("memory symbol '" + name + "' already allocated");
     std::uint32_t addr = kBase + static_cast<std::uint32_t>(words_.size()) * 4u;
     words_.push_back(0);
     symbols_.emplace_back(name, addr);
-    by_name_.emplace(name, addr);
+    by_name_.emplace(it, name, addr);
     return addr;
 }
 
 std::uint32_t MemoryMap::address_of(std::string_view name) const {
-    auto it = by_name_.find(name);
-    if (it == by_name_.end())
+    auto it = name_lower_bound(by_name_, name);
+    if (it == by_name_.end() || it->first != name)
         throw std::out_of_range("no memory symbol '" + std::string(name) + "'");
     return it->second;
 }
 
-bool MemoryMap::has_symbol(std::string_view name) const { return by_name_.contains(name); }
+bool MemoryMap::has_symbol(std::string_view name) const {
+    auto it = name_lower_bound(by_name_, name);
+    return it != by_name_.end() && it->first == name;
+}
 
 std::size_t MemoryMap::index_of(std::uint32_t addr) const {
     if (addr < kBase || (addr - kBase) % 4 != 0)

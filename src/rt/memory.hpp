@@ -8,7 +8,6 @@
 
 #include <bit>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,7 +54,7 @@ private:
 
     std::vector<std::uint32_t> words_;
     std::vector<std::pair<std::string, std::uint32_t>> symbols_;
-    std::map<std::string, std::uint32_t, std::less<>> by_name_;
+    std::vector<std::pair<std::string, std::uint32_t>> by_name_; ///< sorted by name
 };
 
 } // namespace gmdf::rt

@@ -1,0 +1,25 @@
+// Shared helper for the rt module's sorted flat symbol tables
+// (SignalStore, MemoryMap): heterogeneous binary search over
+// vector<pair<string, V>> sorted by name, with no std::string
+// materialization on lookup.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gmdf::rt {
+
+/// First sorted entry not less than `name`.
+template <typename V>
+[[nodiscard]] auto name_lower_bound(const std::vector<std::pair<std::string, V>>& table,
+                                    std::string_view name) {
+    return std::lower_bound(table.begin(), table.end(), name,
+                            [](const auto& entry, std::string_view key) {
+                                return entry.first < key;
+                            });
+}
+
+} // namespace gmdf::rt

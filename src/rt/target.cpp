@@ -3,21 +3,24 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rt/symtab.hpp"
+
 namespace gmdf::rt {
 
 int SignalStore::add(const std::string& name, double init) {
-    if (by_name_.contains(name))
+    auto it = name_lower_bound(by_name_, name);
+    if (it != by_name_.end() && it->first == name)
         throw std::invalid_argument("duplicate signal '" + name + "'");
     int idx = static_cast<int>(names_.size());
     names_.push_back(name);
     init_.push_back(init);
-    by_name_.emplace(name, idx);
+    by_name_.emplace(it, name, idx);
     return idx;
 }
 
 int SignalStore::index_of(std::string_view name) const {
-    auto it = by_name_.find(name);
-    return it == by_name_.end() ? -1 : it->second;
+    auto it = name_lower_bound(by_name_, name);
+    return it == by_name_.end() || it->first != name ? -1 : it->second;
 }
 
 void TaskContext::send_debug(std::span<const std::uint8_t> bytes) {

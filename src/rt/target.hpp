@@ -31,7 +31,9 @@ namespace gmdf::rt {
 
 /// Named signal definitions shared by the whole distributed system
 /// (COMDES labeled messages). Each node keeps a local replica of the
-/// values; the definitions live here.
+/// values; the definitions live here. Name lookup is a binary search
+/// over a sorted flat vector (signals are added at build time, looked
+/// up on hot paths).
 class SignalStore {
 public:
     /// Adds a signal; returns its index. Throws on duplicate names.
@@ -45,7 +47,7 @@ public:
 private:
     std::vector<std::string> names_;
     std::vector<double> init_;
-    std::map<std::string, int, std::less<>> by_name_;
+    std::vector<std::pair<std::string, int>> by_name_; ///< sorted by name
 };
 
 class Node;

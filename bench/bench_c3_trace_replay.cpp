@@ -13,6 +13,7 @@
 #include "core/animator.hpp"
 #include "core/engine.hpp"
 #include "core/trace.hpp"
+#include "replay/animate.hpp"
 
 using namespace gmdf;
 
@@ -74,12 +75,13 @@ void BM_ReplayThroughput(benchmark::State& state) {
     Fixture f;
     auto trace = f.make_trace(static_cast<std::size_t>(state.range(0)));
     for (auto _ : state) {
+        // The same shared re-animation path the `replay` verb and the
+        // time-travel scene rebuild use.
         auto abs = core::abstract_model(f.sys.model(), core::comdes_default_mapping());
-        core::DebuggerEngine engine(f.sys.model());
         core::SceneAnimator animator(f.sys.model(), abs.scene);
-        engine.add_observer(&animator);
-        for (const auto& ev : trace.events()) engine.ingest(ev.cmd, ev.t);
-        benchmark::DoNotOptimize(engine.stats().reactions);
+        replay::animate_trace(f.sys.model(), core::CommandBindingTable::defaults(),
+                              trace.events(), animator);
+        benchmark::DoNotOptimize(animator.frames());
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
     // Each event is 1/3 ms of original execution: speedup vs real time =

@@ -1,0 +1,137 @@
+// P4 — time-travel costs: what a checkpoint costs to take and restore
+// (vs model size), and what a rewind costs end-to-end (restore nearest
+// checkpoint + deterministic catch-up + scene rebuild) as a function of
+// the checkpoint cadence. Writes BENCH_p4_replay.json (CI smoke step).
+//
+// The cadence trade is the headline: a denser grid spends more capture
+// time and ring bytes while the run animates, and buys shorter catch-up
+// spans — so rewind latency scales with the cadence, not with how far
+// back the target time lies.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "proto/scenarios.hpp"
+#include "replay/snapshot.hpp"
+#include "replay/timeline.hpp"
+
+using namespace gmdf;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double us_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+struct SnapshotCost {
+    std::string name;
+    double capture_us = 0;
+    double restore_us = 0;
+    std::size_t bytes = 0;
+};
+
+SnapshotCost bench_snapshot(const char* scenario_name) {
+    auto s = proto::make_scenario(scenario_name);
+    s->target.run_for(500 * rt::kMs);
+    constexpr int kIters = 400;
+
+    auto t0 = Clock::now();
+    replay::Snapshot snap;
+    for (int i = 0; i < kIters; ++i)
+        snap = replay::capture_snapshot(s->target, *s->session);
+    double capture_us = us_since(t0) / kIters;
+
+    t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i)
+        replay::restore_snapshot(snap, s->target, *s->session);
+    double restore_us = us_since(t0) / kIters;
+
+    return {scenario_name, capture_us, restore_us, snap.size_bytes()};
+}
+
+struct RewindCost {
+    std::string name;
+    double cadence_ms = 0;
+    double rewind_ms = 0;       ///< one rewind(1.0 s) from t = 2.0 s
+    std::size_t checkpoints = 0;
+    std::size_t ring_bytes = 0;
+};
+
+RewindCost bench_rewind(rt::SimTime cadence) {
+    auto s = proto::make_scenario("blinker");
+    s->timeline->set_auto_period(cadence);
+    s->timeline->advance(2000 * rt::kMs);
+    constexpr int kIters = 10;
+
+    double total_us = 0;
+    for (int i = 0; i < kIters; ++i) {
+        auto t0 = Clock::now();
+        // 1005 ms sits just past a cadence point, so the catch-up span
+        // is representative (about half the grid on average).
+        auto err = s->timeline->rewind_to(1005 * rt::kMs);
+        total_us += us_since(t0);
+        if (err.has_value()) {
+            std::fprintf(stderr, "rewind refused: %s\n", err->detail.c_str());
+            break;
+        }
+        // Deterministic re-run back to 2.0 s re-creates the same future.
+        s->timeline->advance(995 * rt::kMs);
+    }
+    auto stats = s->timeline->store().stats();
+    return {"rewind_cadence_" + std::to_string(cadence / rt::kMs) + "ms",
+            static_cast<double>(cadence / rt::kMs), total_us / kIters / 1000.0,
+            stats.count, stats.bytes};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const char* out_path = argc > 1 ? argv[1] : "BENCH_p4_replay.json";
+
+    std::vector<SnapshotCost> snaps;
+    snaps.push_back(bench_snapshot("blinker"));
+    snaps.push_back(bench_snapshot("turntable"));
+
+    std::vector<RewindCost> rewinds;
+    rewinds.push_back(bench_rewind(200 * rt::kMs));
+    rewinds.push_back(bench_rewind(50 * rt::kMs));
+    rewinds.push_back(bench_rewind(10 * rt::kMs));
+
+    std::printf("%-24s %12s %12s %10s\n", "snapshot", "capture us", "restore us",
+                "bytes");
+    for (const auto& r : snaps)
+        std::printf("%-24s %12.1f %12.1f %10zu\n", r.name.c_str(), r.capture_us,
+                    r.restore_us, r.bytes);
+    std::printf("\n%-24s %12s %12s %12s\n", "rewind", "cadence ms", "rewind ms",
+                "ring bytes");
+    for (const auto& r : rewinds)
+        std::printf("%-24s %12.0f %12.2f %12zu\n", r.name.c_str(), r.cadence_ms,
+                    r.rewind_ms, r.ring_bytes);
+
+    FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"p4_replay\",\n  \"snapshots\": [\n");
+    for (std::size_t i = 0; i < snaps.size(); ++i)
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"capture_us\": %.1f, \"restore_us\": "
+                     "%.1f, \"bytes\": %zu}%s\n",
+                     snaps[i].name.c_str(), snaps[i].capture_us, snaps[i].restore_us,
+                     snaps[i].bytes, i + 1 < snaps.size() ? "," : "");
+    std::fprintf(f, "  ],\n  \"rewinds\": [\n");
+    for (std::size_t i = 0; i < rewinds.size(); ++i)
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"cadence_ms\": %.0f, \"rewind_ms\": "
+                     "%.2f, \"checkpoints\": %zu, \"ring_bytes\": %zu}%s\n",
+                     rewinds[i].name.c_str(), rewinds[i].cadence_ms,
+                     rewinds[i].rewind_ms, rewinds[i].checkpoints,
+                     rewinds[i].ring_bytes, i + 1 < rewinds.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+    return 0;
+}

@@ -91,6 +91,19 @@ public:
     [[nodiscard]] virtual bool is_two_phase() const { return false; }
     virtual void publish(std::span<double> out) { (void)out; }
     virtual void capture(std::span<const double> in) { (void)in; }
+
+    /// Checkpoint support (gmdf::replay): appends the kernel's mutable
+    /// state as doubles, bit-exact (integers and booleans widen
+    /// losslessly into the double payload). Stateless kernels keep the
+    /// no-op default.
+    virtual void save_state(std::vector<double>& out) const { (void)out; }
+
+    /// Restores what save_state wrote; returns the number of values
+    /// consumed from the front of `in`.
+    virtual std::size_t load_state(std::span<const double> in) {
+        (void)in;
+        return 0;
+    }
 };
 
 /// Builds the kernel for a BasicFB model object; throws on unknown kind,

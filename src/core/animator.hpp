@@ -26,6 +26,11 @@ public:
     /// Scene mutations applied so far (a proxy for rendered frames).
     [[nodiscard]] std::uint64_t frames() const { return frames_; }
 
+    /// Forgets the highlight-decay clock. A scene rebuild after a rewind
+    /// re-animates the trace from its beginning, so the next event must
+    /// not decay against the abandoned future's timestamp.
+    void reset_clock() { last_event_t_ = 0; }
+
     [[nodiscard]] render::Scene& scene() { return *scene_; }
     [[nodiscard]] const render::Scene& scene() const { return *scene_; }
 

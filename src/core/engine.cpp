@@ -11,6 +11,11 @@ namespace gmdf::core {
 using meta::MObject;
 using meta::ObjectId;
 
+template <class F> void DebuggerEngine::notify(F&& deliver) {
+    for (EngineObserver* obs : observers_)
+        if (!replay_mode_ || obs->replay_aware()) deliver(*obs);
+}
+
 const char* to_string(EngineState s) {
     switch (s) {
     case EngineState::Waiting: return "waiting";
@@ -63,12 +68,12 @@ void DebuggerEngine::set_state(EngineState next) {
     if (next == state_) return;
     EngineState from = state_;
     state_ = next;
-    for (EngineObserver* obs : observers_) obs->on_state_change(from, next);
+    notify([&](EngineObserver& obs) { obs.on_state_change(from, next); });
 }
 
 void DebuggerEngine::ingest(const link::Command& cmd, rt::SimTime t) {
     ++stats_.commands;
-    for (EngineObserver* obs : observers_) obs->on_command(cmd, t);
+    notify([&](EngineObserver& obs) { obs.on_command(cmd, t); });
     if (state_ == EngineState::Waiting) set_state(EngineState::Animating);
 
     // Track model-level state before reactions so breakpoints and
@@ -91,7 +96,7 @@ void DebuggerEngine::ingest(const link::Command& cmd, rt::SimTime t) {
     ReactionSpec spec = bindings_.lookup(cmd.kind);
     if (spec.type != ReactionType::None) {
         ++stats_.reactions;
-        for (EngineObserver* obs : observers_) obs->on_reaction(cmd, spec, t);
+        notify([&](EngineObserver& obs) { obs.on_reaction(cmd, spec, t); });
     }
 
     if (cmd.kind == link::Cmd::StateEnter || cmd.kind == link::Cmd::ModeChange)
@@ -110,7 +115,7 @@ void DebuggerEngine::diverge(const link::Command& cmd, rt::SimTime t,
                              std::string message) {
     ++stats_.divergences;
     Divergence d{t, cmd, std::move(message)};
-    for (EngineObserver* obs : observers_) obs->on_divergence(d);
+    notify([&](EngineObserver& obs) { obs.on_divergence(d); });
 }
 
 void DebuggerEngine::check_consistency(const link::Command& cmd, rt::SimTime t) {
@@ -233,7 +238,7 @@ void DebuggerEngine::check_breakpoints(const link::Command& cmd, rt::SimTime t) 
 void DebuggerEngine::hit_breakpoint(int handle, const Breakpoint& bp,
                                     const link::Command& cmd, rt::SimTime t) {
     ++stats_.breakpoints_hit;
-    for (EngineObserver* obs : observers_) obs->on_breakpoint_hit(handle, bp, cmd, t);
+    notify([&](EngineObserver& obs) { obs.on_breakpoint_hit(handle, bp, cmd, t); });
     set_state(EngineState::Paused);
     if (control_.pause) control_.pause();
 }
@@ -256,23 +261,32 @@ void DebuggerEngine::step() {
     if (control_.step) control_.step(step_filter_);
 }
 
+void DebuggerEngine::compile_predicate(int handle, const Breakpoint& bp) {
+    if (bp.kind != Breakpoint::Kind::SignalPredicate) return;
+    try {
+        auto ast = expr::parse(bp.predicate);
+        predicates_.insert_or_assign(
+            handle, expr::compile(*ast, [&](std::string_view name) -> int {
+                auto it = signal_slot_by_name_.find(name);
+                return it == signal_slot_by_name_.end() ? -1 : it->second;
+            }));
+    } catch (const std::exception&) {
+        // Malformed predicate: breakpoint exists but never fires.
+    }
+}
+
 int DebuggerEngine::add_breakpoint(Breakpoint bp) {
     int handle = next_break_++;
-    if (bp.kind == Breakpoint::Kind::SignalPredicate) {
-        try {
-            auto ast = expr::parse(bp.predicate);
-            predicates_.emplace(handle,
-                                expr::compile(*ast, [&](std::string_view name) -> int {
-                                    auto it = signal_slot_by_name_.find(name);
-                                    return it == signal_slot_by_name_.end() ? -1
-                                                                            : it->second;
-                                }));
-        } catch (const std::exception&) {
-            // Malformed predicate: breakpoint exists but never fires.
-        }
-    }
+    compile_predicate(handle, bp);
     breaks_.emplace(handle, std::move(bp));
     return handle;
+}
+
+void DebuggerEngine::restore_breakpoint(int handle, Breakpoint bp) {
+    predicates_.erase(handle);
+    compile_predicate(handle, bp);
+    breaks_.insert_or_assign(handle, std::move(bp));
+    if (handle >= next_break_) next_break_ = handle + 1;
 }
 
 bool DebuggerEngine::remove_breakpoint(int handle) {
@@ -295,6 +309,91 @@ std::optional<ObjectId> DebuggerEngine::current_state(ObjectId sm) const {
     auto it = current_state_.find(sm.raw);
     if (it == current_state_.end()) return std::nullopt;
     return ObjectId{it->second};
+}
+
+void DebuggerEngine::save_state(rt::StateWriter& w) const {
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.b(pause_on_next_command_);
+    w.str(step_filter_.actor);
+    w.u64(stats_.commands);
+    w.u64(stats_.reactions);
+    w.u64(stats_.breakpoints_hit);
+    w.u64(stats_.divergences);
+    w.size(current_state_.size());
+    for (auto [sm, state] : current_state_) {
+        w.u64(sm);
+        w.u64(state);
+    }
+    w.size(pending_transition_.size());
+    for (auto [sm, tr] : pending_transition_) {
+        w.u64(sm);
+        w.u32(tr);
+    }
+    w.size(signal_values_.size());
+    for (auto [sig, value] : signal_values_) {
+        w.u64(sig);
+        w.f64(value);
+    }
+    w.doubles(signal_slots_);
+    w.size(slot_updated_.size());
+    for (bool updated : slot_updated_) w.b(updated);
+    w.i32(next_break_);
+    w.size(breaks_.size());
+    for (const auto& [handle, bp] : breaks_) {
+        w.i32(handle);
+        w.u8(static_cast<std::uint8_t>(bp.kind));
+        w.u64(bp.element.raw);
+        w.str(bp.predicate);
+        w.b(bp.enabled);
+        w.b(bp.one_shot);
+    }
+}
+
+void DebuggerEngine::load_state(rt::StateReader& r) {
+    state_ = static_cast<EngineState>(r.u8());
+    pause_on_next_command_ = r.b();
+    step_filter_.actor = r.str();
+    stats_.commands = r.u64();
+    stats_.reactions = r.u64();
+    stats_.breakpoints_hit = r.u64();
+    stats_.divergences = r.u64();
+    current_state_.clear();
+    std::size_t n = r.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sm = r.u64();
+        current_state_[sm] = r.u64();
+    }
+    pending_transition_.clear();
+    n = r.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sm = r.u64();
+        pending_transition_[sm] = r.u32();
+    }
+    signal_values_.clear();
+    n = r.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sig = r.u64();
+        signal_values_[sig] = r.f64();
+    }
+    signal_slots_ = r.doubles();
+    n = r.size();
+    slot_updated_.assign(n, false);
+    for (std::size_t i = 0; i < n; ++i) slot_updated_[i] = r.b();
+    breaks_.clear();
+    predicates_.clear();
+    next_break_ = r.i32();
+    n = r.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        int handle = r.i32();
+        Breakpoint bp;
+        bp.kind = static_cast<Breakpoint::Kind>(r.u8());
+        bp.element = ObjectId{r.u64()};
+        bp.predicate = r.str();
+        bp.enabled = r.b();
+        bp.one_shot = r.b();
+        compile_predicate(handle, bp);
+        breaks_.emplace(handle, std::move(bp));
+    }
 }
 
 } // namespace gmdf::core

@@ -77,6 +77,15 @@ public:
     /// applies bound reactions, checks consistency and breakpoints.
     void ingest(const link::Command& cmd, rt::SimTime t);
 
+    /// Replay mode (time-travel catch-up): the engine processes commands
+    /// exactly as live — mirrors, consistency checks, breakpoints,
+    /// target pausing, data-plane counters — but fans events out only to
+    /// observers whose replay_aware() is true, so the trace recorder,
+    /// divergence log, and protocol event queue don't double-report the
+    /// history being re-executed.
+    void set_replay_mode(bool on) { replay_mode_ = on; }
+    [[nodiscard]] bool replay_mode() const { return replay_mode_; }
+
     /// link::CommandSink: transports deliver straight into the engine.
     void deliver(const link::Command& cmd, rt::SimTime at) override { ingest(cmd, at); }
 
@@ -97,6 +106,21 @@ public:
     bool remove_breakpoint(int handle);
     [[nodiscard]] const std::map<int, Breakpoint>& breakpoints() const { return breaks_; }
 
+    /// Re-creates a breakpoint under its original handle (time-travel
+    /// journal replay / snapshot restore). Replaces any breakpoint
+    /// already holding the handle.
+    void restore_breakpoint(int handle, Breakpoint bp);
+
+    /// Serializes the engine's model-level mirror state: per-SM current
+    /// states, pending transitions, signal values, engine FSM state,
+    /// breakpoints, and the data-plane counters. The control-plane
+    /// counters (requests, events) are host-side bookkeeping and are
+    /// deliberately not part of a snapshot.
+    void save_state(rt::StateWriter& w) const;
+
+    /// Restores what save_state wrote, silently (no observer callbacks).
+    void load_state(rt::StateReader& r);
+
     /// Most recent value per signal element id (from SIGNAL_UPDATE).
     [[nodiscard]] std::optional<double> signal_value(meta::ObjectId signal) const;
 
@@ -112,6 +136,11 @@ public:
     void note_event_dropped() { ++stats_.events_dropped; }
 
 private:
+    /// Delivers one callback to every observer eligible under the
+    /// current mode (all of them live; replay-aware only during replay).
+    template <class F> void notify(F&& deliver);
+
+    void compile_predicate(int handle, const Breakpoint& bp);
     void set_state(EngineState next);
     void diverge(const link::Command& cmd, rt::SimTime t, std::string message);
     void check_consistency(const link::Command& cmd, rt::SimTime t);
@@ -126,6 +155,7 @@ private:
     StepFilter step_filter_;
     EngineState state_ = EngineState::Waiting;
     bool pause_on_next_command_ = false;
+    bool replay_mode_ = false;
 
     std::map<int, Breakpoint> breaks_;
     /// Bytecode-compiled predicate per SignalPredicate breakpoint

@@ -60,6 +60,14 @@ class EngineObserver {
 public:
     virtual ~EngineObserver() = default;
 
+    /// Whether this observer also wants events while the engine is in
+    /// replay mode (time-travel catch-up re-execution). Most observers
+    /// must NOT see them — the trace recorder, divergence log, and
+    /// protocol event queue would double-report history they already
+    /// hold — so the default is false. Observers that compare or verify
+    /// a re-execution (replay::TraceComparator) opt in.
+    [[nodiscard]] virtual bool replay_aware() const { return false; }
+
     /// Every command the engine ingests, before any processing.
     virtual void on_command(const link::Command& cmd, rt::SimTime t) {
         (void)cmd;
@@ -106,6 +114,13 @@ public:
     [[nodiscard]] bool empty() const { return divergences_.empty(); }
     [[nodiscard]] std::size_t size() const { return divergences_.size(); }
     void clear() { divergences_.clear(); }
+
+    /// Drops divergences after simulated time `t` (rewind discards the
+    /// abandoned future; entries are appended in time order).
+    void truncate_after(rt::SimTime t) {
+        while (!divergences_.empty() && divergences_.back().t > t)
+            divergences_.pop_back();
+    }
 
 private:
     std::vector<Divergence> divergences_;

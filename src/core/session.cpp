@@ -3,6 +3,7 @@
 #include "comdes/metamodel.hpp"
 #include "meta/serialize.hpp"
 #include "proto/controller.hpp"
+#include "replay/animate.hpp"
 
 namespace gmdf::core {
 
@@ -10,8 +11,8 @@ DebugSession::DebugSession(const meta::Model& design)
     : DebugSession(design, comdes_default_mapping()) {}
 
 DebugSession::DebugSession(const meta::Model& design, const MappingTable& mapping)
-    : design_(&design), abstraction_(abstract_model(design, mapping)), engine_(design),
-      animator_(design, abstraction_.scene) {
+    : design_(&design), mapping_(mapping), abstraction_(abstract_model(design, mapping)),
+      engine_(design), animator_(design, abstraction_.scene) {
     engine_.add_observer(&animator_);
     engine_.add_observer(&trace_);
     engine_.add_observer(&divergence_log_);
@@ -76,21 +77,24 @@ std::string DebugSession::vcd() const { return trace_.to_vcd(*design_); }
 
 std::vector<std::string> DebugSession::replay_frames(std::size_t stride) const {
     if (stride == 0) stride = 1;
-    // Fresh scene + engine + animator: replay is deterministic re-animation
-    // under the session's own bindings and animation feel.
-    AbstractionResult fresh = abstract_model(*design_, comdes_default_mapping());
-    DebuggerEngine replay_engine(*design_);
-    replay_engine.set_bindings(engine_.bindings());
+    // Fresh scene + animator; the re-animation loop itself is the shared
+    // replay::animate_trace (also behind rewind's scene rebuild and the
+    // C3 replay bench).
+    AbstractionResult fresh = abstract_model(*design_, mapping_);
     SceneAnimator replay_animator(*design_, fresh.scene);
     replay_animator.set_highlight_half_life(animator_.highlight_half_life());
-    replay_engine.add_observer(&replay_animator);
     std::vector<std::string> frames;
-    std::size_t i = 0;
-    for (const TraceEvent& ev : trace_.events()) {
-        replay_engine.ingest(ev.cmd, ev.t);
-        if (++i % stride == 0) frames.push_back(render::render_ascii(fresh.scene));
-    }
+    replay::animate_trace(*design_, engine_.bindings(), trace_.events(),
+                          replay_animator, [&](std::size_t i) {
+                              if (i % stride == 0)
+                                  frames.push_back(render::render_ascii(fresh.scene));
+                          });
     return frames;
+}
+
+void DebugSession::reset_scene() {
+    AbstractionResult fresh = abstract_model(*design_, mapping_);
+    abstraction_.scene = std::move(fresh.scene);
 }
 
 } // namespace gmdf::core

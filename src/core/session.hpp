@@ -86,6 +86,19 @@ public:
     /// The recorded command trace (observer; feeds replay/VCD/timing).
     [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
 
+    /// Mutable trace access for the time-travel layer (rewind truncates
+    /// the abandoned future).
+    [[nodiscard]] TraceRecorder& trace_recorder() { return trace_; }
+
+    /// Mutable divergence-log access for the time-travel layer.
+    [[nodiscard]] DivergenceLog& divergence_log() { return divergence_log_; }
+
+    /// Re-derives the scene from the design model (identical geometry,
+    /// all animation state cleared). The scene object's address is
+    /// stable, so registered animators stay valid. Used by rewind before
+    /// re-animating the surviving trace.
+    void reset_scene();
+
     /// Bounds the trace recorder to a ring of `capacity` events (0:
     /// unbounded, the default). Long-running hub sessions set this so the
     /// trace holds the most recent window instead of growing forever.
@@ -127,6 +140,7 @@ public:
 
 private:
     const meta::Model* design_;
+    MappingTable mapping_; ///< kept so reset_scene() re-derives identically
     AbstractionResult abstraction_;
     DebuggerEngine engine_;
     SceneAnimator animator_;

@@ -66,10 +66,14 @@ SessionRegistry::Entry* HubController::adopt(std::unique_ptr<proto::Scenario> sc
 void HubController::install(SessionRegistry::Entry& entry) {
     // `run` on any hosted session pumps the whole hub: every live
     // session advances concurrently through the scheduler instead of
-    // only the addressed session's transports.
+    // only the addressed session's transports. Each slice also gives the
+    // session's timeline a chance to take its cadence checkpoint, so
+    // automatic checkpoints stay slice-granular under the hub.
     entry.controller().set_run_hook([this](rt::SimTime duration) {
         scheduler_.pump(registry_, duration, [this](SessionRegistry::Entry& pumped) {
             collect_events(pumped);
+            if (pumped.scenario->timeline != nullptr)
+                pumped.scenario->timeline->maybe_capture();
         });
     });
     current_ = entry.id;

@@ -40,6 +40,16 @@ public:
     /// Bytes discarded while hunting for a frame flag.
     [[nodiscard]] std::uint64_t junk_bytes() const { return junk_; }
 
+    /// Restores the decoder to a clean between-frames state with the
+    /// given counter values (checkpoint restore).
+    void reset_stream(std::uint64_t corrupt, std::uint64_t junk) {
+        state_ = State::Hunting;
+        current_.clear();
+        ready_.clear();
+        corrupt_ = corrupt;
+        junk_ = junk;
+    }
+
 private:
     void end_frame();
 

@@ -67,6 +67,11 @@ TransportStats ActiveUartTransport::stats() const {
 
 TargetControl ActiveUartTransport::control() { return make_target_control(*target_); }
 
+void ActiveUartTransport::restore_stats(const TransportStats& s) {
+    commands_ = s.commands;
+    decoder_.reset_stream(s.corrupt_frames, s.junk_bytes);
+}
+
 // ---- PassiveJtagTransport ---------------------------------------------------
 
 PassiveJtagTransport::PassiveJtagTransport(rt::Target& target,

@@ -101,6 +101,20 @@ public:
 
     /// The execution-control path of the target this transport fronts.
     [[nodiscard]] virtual TargetControl control() = 0;
+
+    /// Deterministic-replay capability (gmdf::replay). A transport that
+    /// opts in guarantees that (a) its delivery is a pure function of
+    /// target state — no internal buffering carried across deliveries —
+    /// so checkpoint restore + re-execution reproduces its command
+    /// stream, and (b) restore_stats() rewinds its counters. The default
+    /// is false: rewind is refused with a typed error on sessions whose
+    /// transports cannot make that promise (passive JTAG pollers hold
+    /// host-side chain state; scripted feeds hold a cursor).
+    [[nodiscard]] virtual bool replay_safe() const { return false; }
+
+    /// Rewinds the transport's counters to snapshot values (replay-safe
+    /// transports only; the default ignores the request).
+    virtual void restore_stats(const TransportStats& s) { (void)s; }
 };
 
 /// Active command interface (paper's RS-232 solution): the target's debug
@@ -118,6 +132,13 @@ public:
     void close() override;
     [[nodiscard]] TransportStats stats() const override;
     [[nodiscard]] TargetControl control() override;
+
+    /// UART batches arrive whole-frame-aligned (generated code emits
+    /// complete frames per scan), so the decoder holds no state between
+    /// deliveries and restore + re-execution replays the byte stream
+    /// bit-for-bit.
+    [[nodiscard]] bool replay_safe() const override { return true; }
+    void restore_stats(const TransportStats& s) override;
 
     [[nodiscard]] const FrameDecoder& decoder() const { return decoder_; }
 

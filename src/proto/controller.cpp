@@ -9,6 +9,7 @@
 #include "core/names.hpp"
 #include "core/session.hpp"
 #include "expr/parser.hpp"
+#include "replay/timeline.hpp"
 
 namespace gmdf::proto {
 
@@ -147,6 +148,22 @@ const std::vector<SessionController::VerbEntry>& SessionController::verb_table()
          "export the recorded trace (VCD dump / ASCII timing diagram)", &C::cmd_trace},
         {"replay", "replay [stride]",
          "re-animate the recorded trace; shows the final frame", &C::cmd_replay},
+        {"checkpoint", "checkpoint now", "capture a full-state checkpoint",
+         &C::cmd_checkpoint},
+        {"checkpoint", "checkpoint list", "list checkpoints and ring stats", nullptr},
+        {"checkpoint", "checkpoint auto <ms>",
+         "capture automatically every <ms> of sim time (0 disables)", nullptr},
+        {"checkpoint", "checkpoint limit <bytes>",
+         "byte budget of the checkpoint ring (oldest evicted)", nullptr},
+        {"rewind", "rewind <ms>",
+         "time-travel: restore the session to an earlier sim time", &C::cmd_rewind},
+        {"step-back", "step-back [n]",
+         "rewind to just before the n-th most recent event (default 1)",
+         &C::cmd_step_back},
+        {"bisect", "bisect",
+         "binary-search the timeline for the first step that diverges from "
+         "the design model or the recorded trace",
+         &C::cmd_bisect},
         {"quit", "quit", "end the session", &C::cmd_quit},
     };
     return table;
@@ -291,6 +308,7 @@ Response SessionController::cmd_pause(const Request& req) {
     if (session_->engine().state() == core::EngineState::Paused)
         return Response::make_error(ErrorCode::BadState, "already paused");
     session_->engine().pause();
+    if (timeline_ != nullptr) timeline_->note_pause();
     return Response::make_ok({"engine paused"});
 }
 
@@ -299,6 +317,7 @@ Response SessionController::cmd_resume(const Request& req) {
     if (session_->engine().state() != core::EngineState::Paused)
         return Response::make_error(ErrorCode::BadState, "not paused");
     session_->engine().resume();
+    if (timeline_ != nullptr) timeline_->note_resume();
     return Response::make_ok({"engine animating"});
 }
 
@@ -307,8 +326,12 @@ Response SessionController::cmd_step(const Request& req) {
     if (session_->engine().state() != core::EngineState::Paused)
         return Response::make_error(ErrorCode::BadState,
                                     "not paused (set a breakpoint or 'pause' first)");
-    if (!req.args.empty()) session_->engine().set_step_filter({req.args[0]});
+    if (!req.args.empty()) {
+        session_->engine().set_step_filter({req.args[0]});
+        if (timeline_ != nullptr) timeline_->note_step_filter(req.args[0]);
+    }
     session_->engine().step();
+    if (timeline_ != nullptr) timeline_->note_step();
     const auto& filter = session_->engine().step_filter();
     return Response::make_ok(
         {"stepping " + (filter.any() ? "any task" : filter.actor)});
@@ -318,6 +341,8 @@ Response SessionController::cmd_step_filter(const Request& req) {
     if (req.args.size() > 1) return bad_args("step-filter [actor]");
     session_->engine().set_step_filter(
         req.args.empty() ? link::StepFilter{} : link::StepFilter{req.args[0]});
+    if (timeline_ != nullptr)
+        timeline_->note_step_filter(req.args.empty() ? std::string{} : req.args[0]);
     const auto& filter = session_->engine().step_filter();
     return Response::make_ok({"step-filter " + (filter.any() ? "any" : filter.actor)});
 }
@@ -349,6 +374,8 @@ Response SessionController::cmd_break(const Request& req) {
             !engine.remove_breakpoint(static_cast<int>(*handle)))
             return Response::make_error(ErrorCode::NotFound,
                                         "no breakpoint " + req.args[1]);
+        if (timeline_ != nullptr)
+            timeline_->note_break_remove(static_cast<int>(*handle));
         return Response::make_ok({"breakpoint " + req.args[1] + " removed"});
     }
 
@@ -384,6 +411,7 @@ Response SessionController::cmd_break(const Request& req) {
             return bad_args("break add state|transition|signal <target> [once]");
         }
         int handle = engine.add_breakpoint(bp);
+        if (timeline_ != nullptr) timeline_->note_break_add(handle, bp);
         return Response::make_ok({breakpoint_line(design, handle, bp)});
     }
 
@@ -523,6 +551,152 @@ Response SessionController::cmd_replay(const Request& req) {
     if (!frames.empty()) {
         auto last = split_lines(frames.back());
         body.insert(body.end(), last.begin(), last.end());
+    }
+    return Response::make_ok(std::move(body));
+}
+
+namespace {
+
+Response no_timeline() {
+    return Response::make_error(
+        ErrorCode::BadState,
+        "time travel is not available for this session (no timeline attached)");
+}
+
+/// Maps a timeline refusal onto the wire: the error class plus, for
+/// out-of-range, the reachable window so the client can retarget.
+Response nav_error(const replay::NavError& err) {
+    std::string msg = err.detail;
+    if (err.kind == replay::NavError::Kind::OutOfRange && err.earliest >= 0)
+        msg += "; reachable window [" + std::to_string(err.earliest) + "ns, " +
+               std::to_string(err.latest) + "ns]";
+    switch (err.kind) {
+    case replay::NavError::Kind::NotDeterministic:
+    case replay::NavError::Kind::EmptyTrace:
+        return Response::make_error(ErrorCode::BadState, std::move(msg));
+    case replay::NavError::Kind::NoCheckpoint:
+        return Response::make_error(ErrorCode::BadState, std::move(msg));
+    case replay::NavError::Kind::OutOfRange:
+        return Response::make_error(ErrorCode::BadArgument, std::move(msg));
+    }
+    return Response::make_error(ErrorCode::Internal, std::move(msg));
+}
+
+} // namespace
+
+Response SessionController::cmd_checkpoint(const Request& req) {
+    if (timeline_ == nullptr) return no_timeline();
+    if (req.args.empty()) return bad_args("checkpoint now|list|auto <ms>|limit <bytes>");
+    const std::string& sub = req.args[0];
+
+    if (sub == "now") {
+        if (req.args.size() != 1) return bad_args("checkpoint now");
+        std::string error;
+        const replay::Checkpoint* cp = timeline_->capture_now(&error);
+        if (cp == nullptr) return Response::make_error(ErrorCode::BadState, error);
+        auto stats = timeline_->store().stats();
+        return Response::make_ok(
+            {"checkpoint @" + std::to_string(cp->snap.time) + "ns " +
+             std::to_string(cp->snap.size_bytes()) + " bytes (" +
+             std::to_string(stats.count) + " held)"});
+    }
+
+    if (sub == "list") {
+        if (req.args.size() != 1) return bad_args("checkpoint list");
+        auto stats = timeline_->store().stats();
+        std::vector<std::string> body;
+        body.push_back("checkpoints " + std::to_string(stats.count) + " holding " +
+                       std::to_string(stats.bytes) + " bytes (limit " +
+                       std::to_string(stats.byte_limit) + ", evicted " +
+                       std::to_string(stats.evictions) + ")");
+        body.push_back(timeline_->auto_period() > 0
+                           ? "auto every " +
+                                 std::to_string(timeline_->auto_period() / rt::kMs) +
+                                 " ms"
+                           : "auto off");
+        std::size_t i = 0;
+        for (const replay::Checkpoint& cp : timeline_->store().entries())
+            body.push_back(std::to_string(i++) + " @" + std::to_string(cp.snap.time) +
+                           "ns " + std::to_string(cp.snap.size_bytes()) + " bytes");
+        return Response::make_ok(std::move(body));
+    }
+
+    if (sub == "auto") {
+        if (req.args.size() != 2) return bad_args("checkpoint auto <ms>");
+        auto ms = parse_number(req.args[1]);
+        if (!ms.has_value() || *ms < 0 ||
+            *ms * 1e6 >= static_cast<double>(std::numeric_limits<rt::SimTime>::max()))
+            return Response::make_error(ErrorCode::BadArgument,
+                                        "'" + req.args[1] +
+                                            "' is not a cadence in ms (>= 0)");
+        timeline_->set_auto_period(static_cast<rt::SimTime>(*ms * 1e6));
+        return Response::make_ok({*ms == 0
+                                      ? std::string("checkpoint auto off")
+                                      : "checkpoint auto every " + req.args[1] + " ms"});
+    }
+
+    if (sub == "limit") {
+        if (req.args.size() != 2) return bad_args("checkpoint limit <bytes>");
+        auto bytes = parse_index(req.args[1]);
+        if (!bytes.has_value() || *bytes == 0)
+            return Response::make_error(ErrorCode::BadArgument,
+                                        "'" + req.args[1] +
+                                            "' is not a byte budget (>= 1)");
+        timeline_->set_byte_limit(static_cast<std::size_t>(*bytes));
+        return Response::make_ok({"checkpoint limit " + req.args[1] + " bytes"});
+    }
+
+    return bad_args("checkpoint now|list|auto <ms>|limit <bytes>");
+}
+
+Response SessionController::cmd_rewind(const Request& req) {
+    if (timeline_ == nullptr) return no_timeline();
+    if (req.args.size() != 1) return bad_args("rewind <ms>");
+    auto ms = parse_number(req.args[0]);
+    if (!ms.has_value() || *ms < 0 ||
+        *ms * 1e6 >= static_cast<double>(std::numeric_limits<rt::SimTime>::max()))
+        return Response::make_error(ErrorCode::BadArgument,
+                                    "'" + req.args[0] + "' is not a time in ms (>= 0)");
+    auto t = static_cast<rt::SimTime>(*ms * 1e6);
+    if (auto err = timeline_->rewind_to(t); err.has_value()) return nav_error(*err);
+    return Response::make_ok(
+        {"rewound to " + req.args[0] + " ms",
+         std::string("engine ") + core::to_string(session_->engine().state())});
+}
+
+Response SessionController::cmd_step_back(const Request& req) {
+    if (timeline_ == nullptr) return no_timeline();
+    if (req.args.size() > 1) return bad_args("step-back [n]");
+    std::size_t n = 1;
+    if (!req.args.empty()) {
+        auto parsed = parse_index(req.args[0]);
+        if (!parsed.has_value() || *parsed < 1)
+            return Response::make_error(ErrorCode::BadArgument,
+                                        "'" + req.args[0] + "' is not a count (>= 1)");
+        n = static_cast<std::size_t>(*parsed);
+    }
+    if (auto err = timeline_->step_back(n); err.has_value()) return nav_error(*err);
+    return Response::make_ok(
+        {"stepped back " + std::to_string(n) + " event(s)",
+         "now @" + std::to_string(timeline_->now()) + "ns",
+         std::string("engine ") + core::to_string(session_->engine().state())});
+}
+
+Response SessionController::cmd_bisect(const Request& req) {
+    if (timeline_ == nullptr) return no_timeline();
+    if (!req.args.empty()) return bad_args("bisect");
+    replay::BisectResult res = timeline_->bisect();
+    if (!res.error.empty())
+        return Response::make_error(ErrorCode::BadState, res.error);
+    std::vector<std::string> body = {
+        "bisect searched " + std::to_string(res.steps_searched) + " steps in " +
+        std::to_string(res.probes) + " probes"};
+    if (!res.found) {
+        body.push_back("no divergence: re-execution matches the recorded trace");
+    } else {
+        body.push_back("first divergent step " + std::to_string(res.step) + " @" +
+                       std::to_string(res.t) + "ns " + res.command);
+        body.push_back(res.reason);
     }
     return Response::make_ok(std::move(body));
 }

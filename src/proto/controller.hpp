@@ -29,6 +29,10 @@ namespace gmdf::core {
 class DebugSession;
 } // namespace gmdf::core
 
+namespace gmdf::replay {
+class Timeline;
+} // namespace gmdf::replay
+
 namespace gmdf::proto {
 
 /// Advances the host clock (wall time of the attached platform) by the
@@ -59,6 +63,13 @@ public:
     /// Installs the `run` verb's clock hook; without one, `run` reports
     /// bad-state.
     void set_run_hook(RunHook hook) { run_hook_ = std::move(hook); }
+
+    /// Attaches the session's time-travel timeline (non-owning; may be
+    /// null). With one attached, the checkpoint/rewind/step-back/bisect
+    /// verbs work and every execution-affecting verb is journaled so
+    /// rewind can re-apply it during catch-up re-execution.
+    void set_timeline(replay::Timeline* timeline) { timeline_ = timeline; }
+    [[nodiscard]] replay::Timeline* timeline() { return timeline_; }
 
     /// Queued asynchronous events, oldest first; the queue is emptied.
     [[nodiscard]] std::vector<Event> drain_events();
@@ -98,11 +109,16 @@ private:
     Response cmd_render(const Request& req);
     Response cmd_trace(const Request& req);
     Response cmd_replay(const Request& req);
+    Response cmd_checkpoint(const Request& req);
+    Response cmd_rewind(const Request& req);
+    Response cmd_step_back(const Request& req);
+    Response cmd_bisect(const Request& req);
     Response cmd_quit(const Request& req);
 
     core::DebugSession* session_;
     Dispatcher dispatcher_;
     RunHook run_hook_;
+    replay::Timeline* timeline_ = nullptr;
     std::deque<Event> events_;
 };
 

@@ -1,5 +1,6 @@
 #include "proto/scenarios.hpp"
 
+#include "codegen/faults.hpp"
 #include "comdes/validate.hpp"
 #include "core/builder.hpp"
 #include "core/transports.hpp"
@@ -54,21 +55,46 @@ void build_turntable(Scenario& s) {
     drive.bind_output(ramp, "out", motor);
 
     s.target.set_network_latency(500 * rt::kUs);
-    // Environment: a part arrives, then the table reaches position. The
-    // callbacks read s.loaded lazily — it is filled right after this
-    // builder returns, well before the first event fires.
-    auto publish = [&s](meta::ObjectId sig, double v, rt::SimTime at) {
-        s.target.sim().at(at, [&s, sig, v] {
-            s.target.node(0).publish_signal(s.loaded.signal_index.at(sig.raw), v);
-        });
-    };
-    publish(part_present, 1.0, 50 * rt::kMs);
-    publish(at_position, 1.0, 200 * rt::kMs);
+    // Environment: a part arrives, then the table reaches position.
+    // Declared data-only; make_scenario schedules them through the
+    // target's rewind-safe publish path once the system is loaded.
+    s.stimuli.push_back({part_present, 1.0, 50 * rt::kMs, 0});
+    s.stimuli.push_back({at_position, 1.0, 200 * rt::kMs, 0});
+}
+
+// The elevator controller from the fault-hunt study. The debugger keeps
+// this design model; the generated code comes from a mutated clone (a
+// wrong-transition-target fault), so the consistency checker trips at
+// runtime — the scenario behind the `bisect` golden workflow.
+void build_lift(Scenario& s) {
+    auto& sys = s.sys;
+    auto call_sig = sys.add_signal("call", "bool_");
+    auto at_floor = sys.add_signal("at_floor", "bool_");
+    auto door_sig = sys.add_signal("door", "real_");
+    auto a = sys.add_actor("elevator_ctl", 10'000);
+    auto sm = a.add_sm("lift", {"call", "arrived"}, {"move", "door"});
+    auto idle = sm.add_state("idle", {{"move", "0"}, {"door", "1"}});
+    auto moving = sm.add_state("moving", {{"move", "1"}, {"door", "0"}});
+    auto open = sm.add_state("doors_open", {{"move", "0"}, {"door", "1"}});
+    sm.add_transition(idle, moving, "call", "!arrived");
+    sm.add_transition(moving, open, "arrived");
+    sm.add_transition(open, idle, "", "!call");
+    a.bind_input(call_sig, sm.sm_id(), "call");
+    a.bind_input(at_floor, sm.sm_id(), "arrived");
+    a.bind_output(sm.sm_id(), "door", door_sig);
+
+    // Exercise the elevator: call, arrive, release.
+    s.stimuli.push_back({call_sig, 1.0, 50 * rt::kMs, 0});
+    s.stimuli.push_back({at_floor, 1.0, 200 * rt::kMs, 0});
+    s.stimuli.push_back({call_sig, 0.0, 350 * rt::kMs, 0});
+    s.stimuli.push_back({at_floor, 0.0, 360 * rt::kMs, 0});
 }
 
 } // namespace
 
-std::vector<std::string> scenario_names() { return {"blinker", "turntable"}; }
+std::vector<std::string> scenario_names() {
+    return {"blinker", "turntable", "lift_fault"};
+}
 
 std::unique_ptr<Scenario> make_scenario(std::string_view name) {
     auto scenario = std::make_unique<Scenario>(std::string(name));
@@ -76,21 +102,42 @@ std::unique_ptr<Scenario> make_scenario(std::string_view name) {
         build_blinker(scenario->sys);
     else if (name == "turntable")
         build_turntable(*scenario);
+    else if (name == "lift_fault")
+        build_lift(*scenario);
     else
         return nullptr;
 
     if (!meta::is_clean(comdes::validate_comdes(scenario->sys.model()))) return nullptr;
 
-    scenario->loaded = codegen::load_system(scenario->target, scenario->sys.model(),
+    // Fault scenarios generate code from a mutated clone of the design
+    // (emulating a model-transformation bug, codegen/faults).
+    const meta::Model* generated = &scenario->sys.model();
+    if (name == "lift_fault") {
+        scenario->mutated = std::make_unique<meta::Model>(scenario->sys.model().clone());
+        if (!codegen::inject_fault(*scenario->mutated,
+                                   codegen::FaultKind::WrongTransitionTarget,
+                                   /*seed=*/23)
+                 .has_value())
+            return nullptr;
+        generated = scenario->mutated.get();
+    }
+
+    scenario->loaded = codegen::load_system(scenario->target, *generated,
                                             codegen::InstrumentOptions::active());
     scenario->session = core::SessionBuilder(scenario->sys.model())
                             .bindings(core::CommandBindingTable::defaults())
                             .active_uart(scenario->target)
                             .build();
-    rt::Target& target = scenario->target;
+    for (const Scenario::Stimulus& st : scenario->stimuli)
+        scenario->target.schedule_publish(
+            st.at, st.node, scenario->loaded.signal_index.at(st.signal.raw), st.value);
+    scenario->timeline =
+        std::make_unique<replay::Timeline>(scenario->target, *scenario->session);
+    scenario->controller().set_timeline(scenario->timeline.get());
+    replay::Timeline* timeline = scenario->timeline.get();
     scenario->controller().set_run_hook(
-        [&target](rt::SimTime duration) { target.run_for(duration); });
-    target.start();
+        [timeline](rt::SimTime duration) { timeline->advance(duration); });
+    scenario->target.start();
     return scenario;
 }
 

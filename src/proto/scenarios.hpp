@@ -17,6 +17,7 @@
 #include "comdes/build.hpp"
 #include "core/session.hpp"
 #include "proto/controller.hpp"
+#include "replay/timeline.hpp"
 #include "rt/target.hpp"
 
 namespace gmdf::proto {
@@ -24,11 +25,27 @@ namespace gmdf::proto {
 /// One ready-to-drive debug scenario. Construction order matters: the
 /// model outlives the session, the target outlives its transport.
 struct Scenario {
+    /// A scheduled environment stimulus (applied through the target's
+    /// rewind-safe publish path once the system is loaded).
+    struct Stimulus {
+        meta::ObjectId signal;
+        double value = 0.0;
+        rt::SimTime at = 0;
+        int node = 0;
+    };
+
     std::string name;
     comdes::SystemBuilder sys;
     rt::Target target;
     codegen::LoadedSystem loaded;
+    std::vector<Stimulus> stimuli;
+    /// Fault scenarios generate code from a mutated clone while the
+    /// debugger keeps sys.model() as the design (null otherwise).
+    std::unique_ptr<meta::Model> mutated;
     std::unique_ptr<core::DebugSession> session;
+    /// Time-travel navigation (checkpoint/rewind/step-back/bisect);
+    /// bound to the session's controller by make_scenario.
+    std::unique_ptr<replay::Timeline> timeline;
 
     explicit Scenario(std::string scenario_name)
         : name(std::move(scenario_name)), sys(name + "_system") {}
@@ -41,7 +58,9 @@ struct Scenario {
 [[nodiscard]] std::vector<std::string> scenario_names();
 
 /// Builds a scenario by name ("blinker": the quickstart toggler;
-/// "turntable": the two-node production cell with scheduled stimuli).
+/// "turntable": the two-node production cell with scheduled stimuli;
+/// "lift_fault": an elevator controller whose generated code carries an
+/// injected wrong-transition-target fault — the bisect demo).
 /// Returns null for unknown names. The target is started; drive it with
 /// the `run` verb.
 [[nodiscard]] std::unique_ptr<Scenario> make_scenario(std::string_view name);

@@ -1,0 +1,24 @@
+#include "replay/animate.hpp"
+
+#include "core/engine.hpp"
+
+namespace gmdf::replay {
+
+void animate_trace(const meta::Model& design,
+                   const core::CommandBindingTable& bindings,
+                   const std::deque<core::TraceEvent>& events,
+                   core::SceneAnimator& animator,
+                   const std::function<void(std::size_t)>& on_event) {
+    core::DebuggerEngine engine(design);
+    engine.set_bindings(bindings);
+    engine.add_observer(&animator);
+    animator.reset_clock();
+    std::size_t i = 0;
+    for (const core::TraceEvent& ev : events) {
+        engine.ingest(ev.cmd, ev.t);
+        ++i;
+        if (on_event) on_event(i);
+    }
+}
+
+} // namespace gmdf::replay

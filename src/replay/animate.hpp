@@ -1,0 +1,32 @@
+// Trace re-animation: one shared implementation of "drive a recorded
+// command stream through a fresh engine into a scene animator".
+//
+// Used by DebugSession::replay_frames (the `replay` verb), by
+// replay::Timeline to rebuild the session scene after a rewind, and by
+// the C3 replay-throughput bench — previously each re-implemented the
+// same loop.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "core/animator.hpp"
+#include "core/bindings.hpp"
+#include "core/trace.hpp"
+#include "meta/model.hpp"
+
+namespace gmdf::replay {
+
+/// Re-animates `events` in order through a temporary engine configured
+/// with `bindings`, with `animator` as the only observer; `on_event` (if
+/// set) runs after each event — index is the 1-based count so callers
+/// can stride frames. The animator's decay clock is reset first, so the
+/// first event does not decay against a stale timestamp.
+void animate_trace(const meta::Model& design,
+                   const core::CommandBindingTable& bindings,
+                   const std::deque<core::TraceEvent>& events,
+                   core::SceneAnimator& animator,
+                   const std::function<void(std::size_t)>& on_event = {});
+
+} // namespace gmdf::replay

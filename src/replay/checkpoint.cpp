@@ -1,0 +1,36 @@
+#include "replay/checkpoint.hpp"
+
+namespace gmdf::replay {
+
+void CheckpointStore::add(Checkpoint cp) {
+    total_bytes_ += cp.snap.size_bytes();
+    ring_.push_back(std::move(cp));
+    ++captures_;
+    enforce();
+}
+
+void CheckpointStore::enforce() {
+    while (ring_.size() > 1 && total_bytes_ > byte_limit_) {
+        total_bytes_ -= ring_.front().snap.size_bytes();
+        ring_.pop_front();
+        ++evictions_;
+    }
+}
+
+const Checkpoint* CheckpointStore::nearest_at_or_before(rt::SimTime t) const {
+    const Checkpoint* best = nullptr;
+    for (const Checkpoint& cp : ring_) {
+        if (cp.snap.time > t) break;
+        best = &cp;
+    }
+    return best;
+}
+
+void CheckpointStore::drop_after(rt::SimTime t) {
+    while (!ring_.empty() && ring_.back().snap.time > t) {
+        total_bytes_ -= ring_.back().snap.size_bytes();
+        ring_.pop_back();
+    }
+}
+
+} // namespace gmdf::replay

@@ -1,0 +1,71 @@
+#include "replay/snapshot.hpp"
+
+#include "core/session.hpp"
+#include "rt/state.hpp"
+#include "rt/target.hpp"
+
+namespace gmdf::replay {
+
+Snapshot capture_snapshot(rt::Target& target, core::DebugSession& session) {
+    rt::StateWriter w;
+    w.u32(Snapshot::kMagic);
+    w.u16(Snapshot::kVersion);
+    w.i64(target.sim().now());
+    try {
+        target.save_state(w);
+    } catch (const std::runtime_error& e) {
+        throw SnapshotError(e.what());
+    }
+    session.engine().save_state(w);
+    const auto& transports = session.transports();
+    w.size(transports.size());
+    for (const auto& t : transports) {
+        link::TransportStats s = t->stats();
+        w.u64(s.commands);
+        w.u64(s.corrupt_frames);
+        w.u64(s.junk_bytes);
+        w.u64(s.polls);
+        w.u64(s.watch_events);
+    }
+
+    Snapshot snap;
+    snap.time = target.sim().now();
+    snap.bytes = w.take();
+    return snap;
+}
+
+void restore_snapshot(const Snapshot& snap, rt::Target& target,
+                      core::DebugSession& session) {
+    rt::StateReader r(snap.bytes);
+    try {
+        if (r.u32() != Snapshot::kMagic)
+            throw SnapshotError("not a gmdf snapshot");
+        if (std::uint16_t v = r.u16(); v != Snapshot::kVersion)
+            throw SnapshotError("snapshot version " + std::to_string(v) +
+                                " is not supported (expected " +
+                                std::to_string(Snapshot::kVersion) + ")");
+        (void)r.i64(); // capture time; authoritative copy lives in snap.time
+        target.load_state(r);
+        session.engine().load_state(r);
+        std::size_t n = r.size();
+        const auto& transports = session.transports();
+        if (n != transports.size())
+            throw SnapshotError("snapshot transport count does not match");
+        for (const auto& t : transports) {
+            link::TransportStats s;
+            s.commands = r.u64();
+            s.corrupt_frames = r.u64();
+            s.junk_bytes = r.u64();
+            s.polls = r.u64();
+            s.watch_events = r.u64();
+            t->restore_stats(s);
+        }
+        if (!r.at_end()) throw SnapshotError("snapshot has trailing bytes");
+    } catch (const SnapshotError&) {
+        throw;
+    } catch (const std::runtime_error& e) {
+        throw SnapshotError(e.what());
+    }
+}
+
+} // namespace gmdf::replay

@@ -1,0 +1,392 @@
+#include "replay/timeline.hpp"
+
+#include <algorithm>
+
+#include "core/session.hpp"
+#include "replay/animate.hpp"
+#include "rt/target.hpp"
+
+namespace gmdf::replay {
+
+namespace {
+
+/// Compares a re-executed command stream against the recorded trace and
+/// watches for divergences, as a replay-aware engine observer. Once the
+/// first disagreement (of either kind) is found, later events are
+/// ignored — the bisect probe only needs the earliest.
+class TraceComparator final : public core::EngineObserver {
+public:
+    TraceComparator(const std::deque<core::TraceEvent>& expected, std::size_t start)
+        : expected_(&expected), idx_(start) {}
+
+    [[nodiscard]] bool replay_aware() const override { return true; }
+
+    void on_command(const link::Command& cmd, rt::SimTime t) override {
+        if (mismatch_.has_value()) return;
+        if (idx_ >= expected_->size() || (*expected_)[idx_].t != t ||
+            !((*expected_)[idx_].cmd == cmd)) {
+            mismatch_ = idx_;
+            got_ = "@" + std::to_string(t) + "ns " + cmd.to_string();
+            return;
+        }
+        ++idx_;
+    }
+
+    void on_divergence(const core::Divergence& d) override {
+        if (div_step_.has_value()) return;
+        // on_command for the triggering command ran first, so the
+        // culprit is the event just consumed.
+        div_step_ = idx_ > 0 ? idx_ - 1 : 0;
+        div_msg_ = d.message;
+    }
+
+    /// Earliest bad step across both legs; nullopt when the probe saw a
+    /// faithful, divergence-free re-execution.
+    [[nodiscard]] std::optional<std::size_t> first_bad() const {
+        if (mismatch_.has_value() && div_step_.has_value())
+            return std::min(*mismatch_, *div_step_);
+        return mismatch_.has_value() ? mismatch_ : div_step_;
+    }
+    [[nodiscard]] std::string reason(std::size_t step) const {
+        if (div_step_.has_value() && *div_step_ == step) return div_msg_;
+        if (step >= expected_->size())
+            return "re-execution produced " + got_ +
+                   " beyond the end of the recorded trace";
+        return "re-execution produced " + got_ + " where the recorded trace has " +
+               "@" + std::to_string((*expected_)[step].t) + "ns " +
+               (*expected_)[step].cmd.to_string();
+    }
+
+private:
+    const std::deque<core::TraceEvent>* expected_;
+    std::size_t idx_;
+    std::optional<std::size_t> mismatch_;
+    std::string got_;
+    std::optional<std::size_t> div_step_;
+    std::string div_msg_;
+};
+
+} // namespace
+
+Timeline::Timeline(rt::Target& target, core::DebugSession& session)
+    : target_(&target), session_(&session) {}
+
+rt::SimTime Timeline::now() const { return target_->sim().now(); }
+
+void Timeline::set_auto_period(rt::SimTime period) {
+    auto_period_ = period < 0 ? 0 : period;
+    if (auto_period_ > 0) next_capture_ = target_->sim().now();
+}
+
+const Checkpoint* Timeline::capture_now(std::string* error) {
+    sync_journal();
+    std::string who;
+    if (!transports_replay_safe(&who)) {
+        if (error != nullptr)
+            *error = "transport '" + who + "' is not deterministic-replay capable";
+        return nullptr;
+    }
+    try {
+        Checkpoint cp;
+        cp.snap = capture_snapshot(*target_, *session_);
+        cp.journal_index = journal_.size();
+        // A trailing run entry is still open — sync_journal extends it in
+        // place as time advances past this capture — so catch-up must
+        // start AT it; replay clamps its span to [cp.time, t].
+        if (!journal_.empty() && journal_.back().is_run)
+            cp.journal_index = journal_.size() - 1;
+        store_.add(std::move(cp));
+        return &store_.entries().back();
+    } catch (const std::runtime_error& e) {
+        if (error != nullptr) *error = e.what();
+        return nullptr;
+    }
+}
+
+void Timeline::maybe_capture() {
+    if (auto_period_ <= 0 || replaying_) return;
+    rt::SimTime now = target_->sim().now();
+    if (now < next_capture_) return;
+    capture_now(nullptr);
+    next_capture_ = (now / auto_period_ + 1) * auto_period_;
+}
+
+void Timeline::advance(rt::SimTime duration) {
+    rt::SimTime horizon = target_->sim().now() + duration;
+    if (auto_period_ > 0) {
+        maybe_capture(); // baseline (or overdue cadence point) at start
+        while (target_->sim().now() < horizon) {
+            rt::SimTime next = std::min(horizon, next_capture_);
+            rt::SimTime now = target_->sim().now();
+            target_->run_for(std::max<rt::SimTime>(next - now, 0));
+            maybe_capture();
+        }
+    } else {
+        target_->run_for(duration);
+    }
+    sync_journal();
+}
+
+void Timeline::sync_journal() {
+    rt::SimTime now = target_->sim().now();
+    if (now <= journal_time_) return;
+    if (!journal_.empty() && journal_.back().is_run) {
+        journal_.back().run_to = now;
+    } else {
+        JournalEntry e;
+        e.at = journal_time_;
+        e.is_run = true;
+        e.run_to = now;
+        journal_.push_back(std::move(e));
+    }
+    journal_time_ = now;
+}
+
+void Timeline::note_control(ControlOp op) {
+    sync_journal();
+    JournalEntry e;
+    e.at = target_->sim().now();
+    e.op = std::move(op);
+    journal_.push_back(std::move(e));
+}
+
+void Timeline::note_pause() { note_control({ControlOp::Kind::Pause, {}, 0, {}}); }
+void Timeline::note_resume() { note_control({ControlOp::Kind::Resume, {}, 0, {}}); }
+void Timeline::note_step() { note_control({ControlOp::Kind::Step, {}, 0, {}}); }
+
+void Timeline::note_step_filter(const std::string& actor) {
+    note_control({ControlOp::Kind::StepFilter, actor, 0, {}});
+}
+
+void Timeline::note_break_add(int handle, const core::Breakpoint& bp) {
+    note_control({ControlOp::Kind::BreakAdd, {}, handle, bp});
+}
+
+void Timeline::note_break_remove(int handle) {
+    note_control({ControlOp::Kind::BreakRemove, {}, handle, {}});
+}
+
+bool Timeline::transports_replay_safe(std::string* who) const {
+    for (const auto& t : session_->transports()) {
+        if (!t->replay_safe()) {
+            if (who != nullptr) *who = t->name();
+            return false;
+        }
+    }
+    return true;
+}
+
+NavError Timeline::out_of_range(std::string detail) const {
+    NavError err;
+    err.kind = store_.entries().empty() ? NavError::Kind::NoCheckpoint
+                                        : NavError::Kind::OutOfRange;
+    err.detail = std::move(detail);
+    if (auto t = store_.earliest_time(); t.has_value()) err.earliest = *t;
+    err.latest = target_->sim().now();
+    return err;
+}
+
+void Timeline::apply_control(const ControlOp& op) {
+    core::DebuggerEngine& engine = session_->engine();
+    switch (op.kind) {
+    case ControlOp::Kind::Pause: engine.pause(); break;
+    case ControlOp::Kind::Resume: engine.resume(); break;
+    case ControlOp::Kind::Step: engine.step(); break;
+    case ControlOp::Kind::StepFilter: engine.set_step_filter({op.actor}); break;
+    case ControlOp::Kind::BreakAdd: engine.restore_breakpoint(op.handle, op.bp); break;
+    case ControlOp::Kind::BreakRemove: engine.remove_breakpoint(op.handle); break;
+    }
+}
+
+Timeline::ReplayStop Timeline::replay_span(const Checkpoint& cp, rt::SimTime t,
+                                           core::EngineObserver* extra) {
+    core::DebuggerEngine& engine = session_->engine();
+    // Exception-safe replay scope: restore/load paths can throw, and the
+    // dispatcher surfaces that as an internal error — the engine must
+    // never be left stuck in replay mode with a dangling observer.
+    struct ReplayScope {
+        Timeline* tl;
+        core::DebuggerEngine* engine;
+        core::EngineObserver* extra;
+        ~ReplayScope() {
+            if (extra != nullptr) engine->remove_observer(extra);
+            engine->set_replay_mode(false);
+            tl->replaying_ = false;
+        }
+    } scope{this, &engine, extra};
+    replaying_ = true;
+    engine.set_replay_mode(true);
+    if (extra != nullptr) engine.add_observer(extra);
+
+    restore_snapshot(cp.snap, *target_, *session_);
+    std::size_t i = cp.journal_index;
+    rt::SimTime cur = cp.snap.time;
+    bool partial = false;
+    while (i < journal_.size()) {
+        const JournalEntry& e = journal_[i];
+        if (e.is_run) {
+            rt::SimTime to = std::min(e.run_to, t);
+            if (to > cur) {
+                target_->run_for(to - cur);
+                cur = to;
+            }
+            if (e.run_to > t) {
+                partial = true;
+                break;
+            }
+            ++i;
+        } else {
+            // Controls stamped exactly at t belong to time t (trace
+            // events at t are retained, so the journal boundary must
+            // match); anything later is the discarded future.
+            if (e.at > t) break;
+            apply_control(e.op);
+            ++i;
+        }
+    }
+    // Paranoia: the journal always covers [0, now] via sync_journal, but
+    // never leave the clock short of the requested instant.
+    if (cur < t) target_->run_for(t - cur);
+
+    return {i, partial};
+}
+
+void Timeline::rebuild_scene() {
+    session_->reset_scene();
+    animate_trace(session_->design(), session_->engine().bindings(),
+                  session_->trace().events(), session_->animator());
+}
+
+std::optional<NavError> Timeline::rewind_to(rt::SimTime t) {
+    sync_journal();
+    std::string who;
+    if (!transports_replay_safe(&who))
+        return NavError{NavError::Kind::NotDeterministic,
+                        "transport '" + who +
+                            "' is not deterministic-replay capable; rewind refused",
+                        -1, -1};
+    rt::SimTime now = target_->sim().now();
+    if (t < 0 || t > now)
+        return out_of_range("time is ahead of the session clock");
+    const Checkpoint* cp = store_.nearest_at_or_before(t);
+    if (cp == nullptr)
+        return out_of_range("no checkpoint at or before the requested time");
+
+    ReplayStop stop = replay_span(*cp, t, nullptr);
+
+    // The future past t is now abandoned history: drop it everywhere.
+    journal_.resize(stop.partial_run ? stop.next_entry + 1 : stop.next_entry);
+    if (stop.partial_run) journal_.back().run_to = t;
+    journal_time_ = t;
+    session_->trace_recorder().truncate_after(t);
+    session_->divergence_log().truncate_after(t);
+    store_.drop_after(t);
+    rebuild_scene();
+    if (auto_period_ > 0) next_capture_ = (t / auto_period_ + 1) * auto_period_;
+    ++rewinds_;
+    return std::nullopt;
+}
+
+std::optional<NavError> Timeline::step_back(std::size_t n) {
+    sync_journal();
+    const auto& events = session_->trace().events();
+    if (events.empty())
+        return NavError{NavError::Kind::EmptyTrace,
+                        "no recorded events to step back over", -1, -1};
+    if (n == 0 || n > events.size())
+        return out_of_range("step-back count exceeds the recorded trace (" +
+                            std::to_string(events.size()) + " events)");
+    rt::SimTime te = events[events.size() - n].t;
+    if (te <= 0)
+        return out_of_range("the targeted event is at the start of time");
+    return rewind_to(te - 1);
+}
+
+BisectResult Timeline::bisect() {
+    BisectResult res;
+    sync_journal();
+    std::string who;
+    if (!transports_replay_safe(&who)) {
+        res.error =
+            "transport '" + who + "' is not deterministic-replay capable";
+        return res;
+    }
+    const auto& events = session_->trace().events();
+    if (events.empty()) {
+        res.error = "trace is empty - run the target first";
+        return res;
+    }
+    if (store_.entries().empty()) {
+        res.error = "no checkpoints - 'checkpoint now' or 'checkpoint auto' "
+                    "before running";
+        return res;
+    }
+
+    // Probe from a fixed base (the earliest checkpoint) so "first bad
+    // step <= i" is monotone in i; later checkpoints already contain the
+    // recorded (possibly faulty) state and would mask earlier badness.
+    const Checkpoint& base = store_.entries().front();
+    std::size_t lo = 0;
+    while (lo < events.size() && events[lo].t <= base.snap.time) ++lo;
+    if (lo >= events.size()) {
+        res.error = "every recorded event predates the earliest checkpoint";
+        return res;
+    }
+    const std::size_t start = lo;
+    res.steps_searched = events.size() - start;
+
+    // A probe re-executes [base, events[i].t] and reports the earliest
+    // disagreement (trace mismatch or divergence) it observed. Probing
+    // from the fixed base keeps "bad(i)" monotone, so every nullopt
+    // probe proves the prefix up to its midpoint re-executes faithfully.
+    Snapshot bookmark = capture_snapshot(*target_, *session_);
+    auto probe = [&](std::size_t i) -> std::optional<std::size_t> {
+        TraceComparator comp(events, start);
+        replay_span(base, events[i].t, &comp);
+        ++res.probes;
+        return comp.first_bad();
+    };
+
+    std::size_t hi = events.size() - 1;
+    std::optional<std::size_t> full = probe(hi);
+    if (!full.has_value()) {
+        restore_snapshot(bookmark, *target_, *session_);
+        return res; // faithful, divergence-free timeline
+    }
+    // Probes are time-granular (a probe at step i replays every event
+    // sharing events[i].t), so a probe may report a first-bad index past
+    // its midpoint; the report is exact within the probed window, never
+    // clamp it below itself.
+    std::size_t hi_bad = *full;
+    while (lo < hi_bad) {
+        std::size_t mid = lo + (hi_bad - lo) / 2;
+        std::optional<std::size_t> bad = probe(mid);
+        if (!bad.has_value()) {
+            lo = mid + 1;
+            continue;
+        }
+        hi_bad = *bad;
+        if (*bad > mid) lo = mid + 1; // everything through mid replayed clean
+    }
+
+    // One confirming probe at the culprit for the human-readable reason.
+    // hi_bad == events.size() means the re-execution emitted extra
+    // events past the recorded end: anchor on the last recorded step.
+    std::size_t culprit = std::min(hi_bad, events.size() - 1);
+    TraceComparator confirm(events, start);
+    replay_span(base, events[culprit].t, &confirm);
+    ++res.probes;
+    res.found = true;
+    res.step = culprit;
+    res.t = events[culprit].t;
+    res.command = hi_bad < events.size()
+                      ? events[hi_bad].cmd.to_string()
+                      : "(re-execution continued past the recorded trace)";
+    res.reason = confirm.first_bad().has_value()
+                     ? confirm.reason(*confirm.first_bad())
+                     : "disagreement did not reproduce on the confirming probe";
+    restore_snapshot(bookmark, *target_, *session_);
+    return res;
+}
+
+} // namespace gmdf::replay

@@ -1,0 +1,186 @@
+// Timeline: time-travel navigation over one deterministic debug session.
+//
+// Combines three records to make any past sim-time reachable:
+//   - the CheckpointStore's periodic snapshots (anchor states),
+//   - a control journal of everything that influenced execution after
+//     each checkpoint (run segments, pause/resume/step, breakpoint
+//     add/remove — noted by the protocol controller), and
+//   - the session's TraceRecorder (the observed command history, used
+//     for step-back targeting, scene rebuild, and bisect comparison).
+//
+// rewind(t): restore the nearest checkpoint <= t, then deterministically
+// re-execute forward to t with the engine in replay mode (observers
+// suppressed, so the trace / divergence log / protocol events don't
+// double-report), truncate the abandoned future (trace, divergences,
+// journal, later checkpoints), and rebuild the scene from the surviving
+// trace. After a rewind, running forward reproduces the original
+// execution byte-identically — the whole platform is deterministic and
+// every execution-affecting input is restored or replayed.
+//
+// bisect(): binary-searches the recorded steps for the first one whose
+// re-execution from the earliest checkpoint disagrees with the recorded
+// trace or trips the divergence checker — the fault-localization loop
+// (find the first step where target behaviour left the design model)
+// as one verb.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/observer.hpp"
+#include "replay/checkpoint.hpp"
+
+namespace gmdf::core {
+class DebugSession;
+} // namespace gmdf::core
+
+namespace gmdf::replay {
+
+/// One recorded execution-affecting control action.
+struct ControlOp {
+    enum class Kind : std::uint8_t {
+        Pause,
+        Resume,
+        Step,
+        StepFilter,
+        BreakAdd,
+        BreakRemove,
+    };
+    Kind kind = Kind::Pause;
+    std::string actor;    ///< StepFilter
+    int handle = 0;       ///< BreakAdd / BreakRemove
+    core::Breakpoint bp;  ///< BreakAdd
+};
+
+/// One journal record: either a run segment (target advanced to
+/// `run_to`) or a control action applied at sim time `at`.
+struct JournalEntry {
+    rt::SimTime at = 0;
+    bool is_run = false;
+    rt::SimTime run_to = 0;
+    ControlOp op;
+};
+
+/// Why a navigation request was refused. `earliest`/`latest` carry the
+/// reachable window for OutOfRange (in ns; -1 when there is none).
+struct NavError {
+    enum class Kind {
+        NotDeterministic, ///< a transport cannot promise replay fidelity
+        NoCheckpoint,     ///< nothing to restore from
+        OutOfRange,       ///< target time outside the reachable window
+        EmptyTrace,       ///< step-back/bisect with no recorded events
+    };
+    Kind kind = Kind::OutOfRange;
+    std::string detail;
+    rt::SimTime earliest = -1;
+    rt::SimTime latest = -1;
+};
+
+/// Outcome of bisect().
+struct BisectResult {
+    bool found = false;
+    std::size_t step = 0;      ///< trace index of the first bad step
+    rt::SimTime t = 0;         ///< its simulated time
+    std::string command;       ///< the culprit command, formatted
+    std::string reason;        ///< divergence message / mismatch description
+    std::size_t steps_searched = 0;
+    std::size_t probes = 0;    ///< checkpoint-restore re-executions used
+    std::string error;         ///< non-empty: bisect refused, and why
+};
+
+class Timeline {
+public:
+    /// Both references must outlive the timeline; `session` must be
+    /// attached to `target` (its engine is the target's command sink).
+    Timeline(rt::Target& target, core::DebugSession& session);
+
+    // ---- configuration -----------------------------------------------------
+
+    /// Automatic checkpoint cadence in sim time; 0 disables. Enabling
+    /// schedules the next capture immediately (a baseline lands at the
+    /// start of the next advance).
+    void set_auto_period(rt::SimTime period);
+    [[nodiscard]] rt::SimTime auto_period() const { return auto_period_; }
+
+    void set_byte_limit(std::size_t limit) { store_.set_byte_limit(limit); }
+
+    [[nodiscard]] const CheckpointStore& store() const { return store_; }
+
+    // ---- capture -----------------------------------------------------------
+
+    /// Takes a checkpoint now. Null on refusal with the reason in
+    /// `error` (non-deterministic transports, unrestorable state).
+    const Checkpoint* capture_now(std::string* error = nullptr);
+
+    /// Cadence capture: takes a checkpoint when the auto period elapsed.
+    /// Safe to call from any pump loop; no-op when auto is off, a
+    /// capture is not due yet, or a replay is in progress.
+    void maybe_capture();
+
+    /// Run-hook implementation: advances the target by `duration`,
+    /// sliced at cadence points so automatic checkpoints land exactly on
+    /// the configured grid, and journals the run segment.
+    void advance(rt::SimTime duration);
+
+    // ---- journal (called by the protocol controller) -----------------------
+
+    void note_pause();
+    void note_resume();
+    void note_step();
+    void note_step_filter(const std::string& actor);
+    void note_break_add(int handle, const core::Breakpoint& bp);
+    void note_break_remove(int handle);
+
+    [[nodiscard]] std::size_t journal_size() const { return journal_.size(); }
+
+    // ---- navigation --------------------------------------------------------
+
+    /// Rewinds the session to sim time `t`. Returns the refusal, or
+    /// nullopt on success.
+    std::optional<NavError> rewind_to(rt::SimTime t);
+
+    /// Rewinds to just before the n-th most recent recorded event.
+    std::optional<NavError> step_back(std::size_t n);
+
+    [[nodiscard]] BisectResult bisect();
+
+    [[nodiscard]] std::uint64_t rewinds() const { return rewinds_; }
+
+    /// The session clock (convenience for protocol responses).
+    [[nodiscard]] rt::SimTime now() const;
+
+private:
+    struct ReplayStop {
+        std::size_t next_entry = 0; ///< first journal entry not fully applied
+        bool partial_run = false;   ///< that entry is a run clamped at t
+    };
+
+    /// Journals any time advance that happened outside advance() (hub
+    /// scheduler pumps, direct target runs).
+    void sync_journal();
+    void note_control(ControlOp op);
+    [[nodiscard]] bool transports_replay_safe(std::string* who) const;
+    NavError out_of_range(std::string detail) const;
+
+    /// Restores `cp` and re-executes forward to `t` in replay mode,
+    /// re-applying journaled control actions; `extra` (may be null) is
+    /// registered as a replay-aware observer for the duration.
+    ReplayStop replay_span(const Checkpoint& cp, rt::SimTime t,
+                           core::EngineObserver* extra);
+    void apply_control(const ControlOp& op);
+    void rebuild_scene();
+
+    rt::Target* target_;
+    core::DebugSession* session_;
+    CheckpointStore store_;
+    std::vector<JournalEntry> journal_;
+    rt::SimTime journal_time_ = 0;
+    rt::SimTime auto_period_ = 0;
+    rt::SimTime next_capture_ = 0;
+    bool replaying_ = false;
+    std::uint64_t rewinds_ = 0;
+};
+
+} // namespace gmdf::replay

@@ -1,49 +1,139 @@
 #include "rt/des.hpp"
 
-#include <memory>
+#include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <tuple>
 
 namespace gmdf::rt {
 
-void Simulator::at(SimTime t, std::function<void()> fn) {
-    if (t < now_) throw std::invalid_argument("cannot schedule event in the past");
-    queue_.push({t, seq_++, std::move(fn)});
+void Simulator::push(Event ev) {
+    queue_.push_back(std::move(ev));
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
-void Simulator::every(SimTime start, SimTime period, std::function<void()> fn) {
+Simulator::Event Simulator::pop() {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
+    return ev;
+}
+
+Simulator::ScheduledEvent Simulator::at(SimTime t, std::function<void()> fn) {
+    if (t < now_) throw std::invalid_argument("cannot schedule event in the past");
+    ScheduledEvent handle{next_id_++, seq_++};
+    push({t, handle.seq, std::move(fn), 0, handle.id});
+    return handle;
+}
+
+Simulator::ScheduledEvent Simulator::every(SimTime start, SimTime period,
+                                           std::function<void()> fn) {
     if (period <= 0) throw std::invalid_argument("period must be positive");
     if (start < now_) throw std::invalid_argument("cannot schedule event in the past");
     // One closure for the task's whole lifetime: step() re-arms periodic
     // events by moving the same Event back into the queue, so a periodic
-    // tick allocates nothing (the old implementation re-wrapped a fresh
-    // heap-allocated std::function every period).
-    queue_.push({start, seq_++, std::move(fn), period});
+    // tick allocates nothing.
+    ScheduledEvent handle{next_id_++, seq_++};
+    push({start, handle.seq, std::move(fn), period, handle.id});
+    return handle;
+}
+
+void Simulator::schedule_restored(SimTime t, std::uint64_t seq,
+                                  std::function<void()> fn) {
+    // One-shot ids are never matched (only periodic events restore by
+    // id), and consuming next_id_ here would make a restored simulator
+    // drift from the original id sequence — breaking bit-identical
+    // re-capture. Restored one-shots use the reserved id 0.
+    push({t, seq, std::move(fn), 0, 0});
 }
 
 bool Simulator::step() {
     if (queue_.empty()) return false;
-    // Move the handler out before popping so it can schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev = pop();
     now_ = ev.t;
     ev.fn();
     if (ev.period > 0) {
-        // Re-arm after the handler, matching the old wrapper's ordering:
-        // events the handler scheduled get earlier sequence numbers.
+        // Re-arm after the handler, matching one-shot ordering: events
+        // the handler scheduled get earlier sequence numbers.
         ev.t += ev.period;
         ev.seq = seq_++;
-        queue_.push(std::move(ev));
+        push(std::move(ev));
     }
     return true;
 }
 
 void Simulator::run_until(SimTime horizon) {
-    while (!queue_.empty() && queue_.top().t <= horizon) step();
+    while (!queue_.empty() && queue_.front().t <= horizon) step();
     if (now_ < horizon) now_ = horizon;
 }
 
 void Simulator::run_all() {
     while (step()) {}
+}
+
+std::size_t Simulator::pending_one_shot() const {
+    std::size_t n = 0;
+    for (const Event& ev : queue_)
+        if (ev.period == 0) ++n;
+    return n;
+}
+
+void Simulator::save_state(StateWriter& w) const {
+    w.i64(now_);
+    w.u64(seq_);
+    w.u64(next_id_);
+    // Canonical order (by id), not heap-layout order: the heap's vector
+    // layout is rebuilt on restore, and a snapshot of the restored
+    // simulator must be bit-identical to the original.
+    std::vector<const Event*> periodic;
+    for (const Event& ev : queue_)
+        if (ev.period > 0) periodic.push_back(&ev);
+    std::sort(periodic.begin(), periodic.end(),
+              [](const Event* a, const Event* b) { return a->id < b->id; });
+    w.size(periodic.size());
+    for (const Event* ev : periodic) {
+        w.u64(ev->id);
+        w.i64(ev->t);
+        w.u64(ev->seq);
+        w.i64(ev->period);
+    }
+}
+
+void Simulator::load_state(StateReader& r) {
+    now_ = r.i64();
+    seq_ = r.u64();
+    next_id_ = r.u64();
+    std::map<std::uint64_t, std::tuple<SimTime, std::uint64_t, SimTime>> saved;
+    std::size_t n = r.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t id = r.u64();
+        SimTime t = r.i64();
+        std::uint64_t seq = r.u64();
+        SimTime period = r.i64();
+        saved.emplace(id, std::tuple{t, seq, period});
+    }
+    // One-shots are dropped (their owners re-create them); periodic
+    // events registered after the snapshot didn't exist then and are
+    // dropped too; surviving periodic events rewind to their recorded
+    // fire time and sequence number.
+    std::vector<Event> kept;
+    kept.reserve(queue_.size());
+    for (Event& ev : queue_) {
+        if (ev.period == 0) continue;
+        auto it = saved.find(ev.id);
+        if (it == saved.end()) continue;
+        auto [t, seq, period] = it->second;
+        ev.t = t;
+        ev.seq = seq;
+        ev.period = period;
+        kept.push_back(std::move(ev));
+        saved.erase(it);
+    }
+    if (!saved.empty())
+        throw std::runtime_error(
+            "snapshot names a periodic event that no longer exists");
+    queue_ = std::move(kept);
+    std::make_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 } // namespace gmdf::rt

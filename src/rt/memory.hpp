@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "rt/state.hpp"
+
 namespace gmdf::rt {
 
 /// Word-addressed RAM image with a symbol table. Addresses are byte
@@ -48,6 +50,14 @@ public:
     [[nodiscard]] const std::vector<std::pair<std::string, std::uint32_t>>& symbols() const {
         return symbols_;
     }
+
+    /// Serializes the RAM image (words only — the symbol table is fixed
+    /// at load time and shared by every snapshot of the same system).
+    void save_state(StateWriter& w) const;
+
+    /// Restores the RAM image; throws std::runtime_error when the
+    /// snapshot's word count differs from this map's layout.
+    void load_state(StateReader& r);
 
 private:
     [[nodiscard]] std::size_t index_of(std::uint32_t addr) const;

@@ -1,0 +1,130 @@
+// Compact binary state codec for checkpoint/restore.
+//
+// Every layer that participates in deterministic snapshots (the DES
+// kernel, the memory map, the target platform, the debugger engine)
+// serializes itself through a StateWriter and restores through a
+// StateReader. The encoding is explicit little-endian with fixed-width
+// integers and bit-exact IEEE doubles/singles, so a snapshot taken on
+// one run restores bit-for-bit on another — which is what makes
+// rewind + re-execution byte-identical to the original forward run.
+//
+// Readers validate bounds on every access and throw std::runtime_error
+// on truncation; the replay layer wraps that into its typed errors
+// before anything reaches the protocol surface.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gmdf::rt {
+
+/// Appends fixed-width little-endian fields to a byte buffer.
+class StateWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v) { put_le(v); }
+    void u32(std::uint32_t v) { put_le(v); }
+    void u64(std::uint64_t v) { put_le(v); }
+    void i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void str(const std::string& s) {
+        size(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+    void bytes(std::span<const std::uint8_t> s) {
+        size(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+    void doubles(std::span<const double> s) {
+        size(s.size());
+        for (double v : s) f64(v);
+    }
+
+    [[nodiscard]] std::size_t size_bytes() const { return buf_.size(); }
+    [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+    [[nodiscard]] const std::vector<std::uint8_t>& buffer() const { return buf_; }
+
+private:
+    template <class T> void put_le(T v) {
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Reads fields written by StateWriter, in the same order. Throws
+/// std::runtime_error("snapshot truncated") past the end.
+class StateReader {
+public:
+    explicit StateReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint8_t u8() { return take(1)[0]; }
+    std::uint16_t u16() { return get_le<std::uint16_t>(); }
+    std::uint32_t u32() { return get_le<std::uint32_t>(); }
+    std::uint64_t u64() { return get_le<std::uint64_t>(); }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool b() { return u8() != 0; }
+    float f32() { return std::bit_cast<float>(u32()); }
+    double f64() { return std::bit_cast<double>(u64()); }
+    std::size_t size() { return static_cast<std::size_t>(u64()); }
+
+    std::string str() {
+        std::size_t n = checked_count(size(), 1);
+        auto s = take(n);
+        return {reinterpret_cast<const char*>(s.data()), n};
+    }
+    std::vector<std::uint8_t> bytes() {
+        std::size_t n = checked_count(size(), 1);
+        auto s = take(n);
+        return {s.begin(), s.end()};
+    }
+    std::vector<double> doubles() {
+        std::size_t n = checked_count(size(), 8);
+        std::vector<double> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) out.push_back(f64());
+        return out;
+    }
+
+    [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+    [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+private:
+    std::span<const std::uint8_t> take(std::size_t n) {
+        if (n > data_.size() - pos_) throw std::runtime_error("snapshot truncated");
+        auto s = data_.subspan(pos_, n);
+        pos_ += n;
+        return s;
+    }
+    /// Element counts are validated against the remaining payload before
+    /// any allocation, so a corrupt length can't trigger a huge reserve.
+    std::size_t checked_count(std::size_t n, std::size_t elem_size) {
+        if (n > (data_.size() - pos_) / elem_size)
+            throw std::runtime_error("snapshot truncated");
+        return n;
+    }
+    template <class T> T get_le() {
+        auto s = take(sizeof(T));
+        T v = 0;
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            v = static_cast<T>(v | (static_cast<T>(s[i]) << (8 * i)));
+        return v;
+    }
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace gmdf::rt

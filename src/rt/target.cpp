@@ -49,6 +49,7 @@ void Node::add_task(TaskConfig cfg, std::unique_ptr<TaskBody> body) {
     task->cfg = std::move(cfg);
     task->body = std::move(body);
     task->in_latch.resize(task->cfg.input_signals.size());
+    task->index = tasks_.size();
     tasks_.push_back(std::move(task));
 }
 
@@ -146,23 +147,35 @@ void Node::start_next_job() {
 
     SimTime completion = target_->sim_.now() + duration;
     // Completion applies memory pokes, emits debug bytes, and hands the
-    // outputs to the latch policy.
-    target_->sim_.at(completion, [this, &task, job, out = std::move(job_out),
-                                  pokes = std::move(ctx.pokes_),
-                                  bytes = std::move(ctx.debug_bytes_)]() mutable {
-        for (auto [addr, value] : pokes) memory_.write_u32(addr, value);
-        if (!bytes.empty()) {
-            // Serialized UART wire: 10 bits per byte (8N1 framing).
-            SimTime start = std::max(target_->sim_.now(), uart_busy_until_);
-            auto wire_ns = static_cast<SimTime>(
-                static_cast<double>(bytes.size()) * 10.0 / target_->uart_.baud *
-                static_cast<double>(kSec));
-            uart_busy_until_ = start + wire_ns;
-            target_->deliver_debug(id_, std::move(bytes), uart_busy_until_);
-        }
-        finish_job(task, job.release, std::move(out));
-        start_next_job();
-    });
+    // outputs to the latch policy. Scheduled as a typed pending op so a
+    // checkpoint can serialize the in-flight job.
+    Target::PendingOp op;
+    op.kind = Target::PendingOp::Kind::JobComplete;
+    op.node = id_;
+    op.task = task.index;
+    op.release = job.release;
+    op.out = std::move(job_out);
+    op.pokes = std::move(ctx.pokes_);
+    op.bytes = std::move(ctx.debug_bytes_);
+    target_->schedule_op(completion, std::move(op));
+}
+
+void Node::complete_job(std::size_t task_index, SimTime release,
+                        std::vector<double> out,
+                        std::vector<std::pair<std::uint32_t, std::uint32_t>> pokes,
+                        std::vector<std::uint8_t> bytes) {
+    for (auto [addr, value] : pokes) memory_.write_u32(addr, value);
+    if (!bytes.empty()) {
+        // Serialized UART wire: 10 bits per byte (8N1 framing).
+        SimTime start = std::max(target_->sim_.now(), uart_busy_until_);
+        auto wire_ns = static_cast<SimTime>(
+            static_cast<double>(bytes.size()) * 10.0 / target_->uart_.baud *
+            static_cast<double>(kSec));
+        uart_busy_until_ = start + wire_ns;
+        target_->deliver_debug(id_, std::move(bytes), uart_busy_until_);
+    }
+    finish_job(*tasks_[task_index], release, std::move(out));
+    start_next_job();
 }
 
 void Node::finish_job(Task& task, SimTime release, std::vector<double> out) {
@@ -182,9 +195,13 @@ void Node::finish_job(Task& task, SimTime release, std::vector<double> out) {
         return;
     }
     // Timed multitasking: defer the output latch to the deadline instant.
-    target_->sim_.at(deadline_at, [this, &task, release, held = std::move(out)] {
-        latch_outputs(task, release, held);
-    });
+    Target::PendingOp op;
+    op.kind = Target::PendingOp::Kind::OutputLatch;
+    op.node = id_;
+    op.task = task.index;
+    op.release = release;
+    op.out = std::move(out);
+    target_->schedule_op(deadline_at, std::move(op));
 }
 
 void Node::latch_outputs(Task& task, SimTime release, const std::vector<double>& out) {
@@ -192,6 +209,83 @@ void Node::latch_outputs(Task& task, SimTime release, const std::vector<double>&
     task.stats.output_offsets.push_back(now - release);
     for (std::size_t i = 0; i < task.cfg.output_signals.size(); ++i)
         publish_signal(task.cfg.output_signals[i], out[i]);
+}
+
+void Node::save_state(StateWriter& w) const {
+    memory_.save_state(w);
+    w.doubles(local_signals_);
+    w.b(cpu_busy_);
+    w.u64(job_seq_);
+    w.u64(app_cycles_);
+    w.u64(instr_cycles_);
+    w.u64(busy_ns_);
+    w.i64(uart_busy_until_);
+    w.size(ready_.size());
+    for (const ReadyJob& j : ready_) {
+        w.size(j.task->index);
+        w.i64(j.release);
+        w.u64(j.seq);
+    }
+    w.size(tasks_.size());
+    for (const auto& t : tasks_) {
+        w.doubles(t->in_latch);
+        w.b(t->job_pending);
+        const TaskStats& s = t->stats;
+        w.u64(s.releases);
+        w.u64(s.completions);
+        w.u64(s.overruns);
+        w.u64(s.deadline_misses);
+        w.u64(s.suppressed);
+        w.i64(s.worst_response);
+        w.size(s.output_offsets.size());
+        for (SimTime o : s.output_offsets) w.i64(o);
+        std::vector<double> body;
+        t->body->save_state(body);
+        w.doubles(body);
+    }
+}
+
+void Node::load_state(StateReader& r) {
+    memory_.load_state(r);
+    local_signals_ = r.doubles();
+    cpu_busy_ = r.b();
+    job_seq_ = r.u64();
+    app_cycles_ = r.u64();
+    instr_cycles_ = r.u64();
+    busy_ns_ = r.u64();
+    uart_busy_until_ = r.i64();
+    ready_.clear();
+    std::size_t n_ready = r.size();
+    for (std::size_t i = 0; i < n_ready; ++i) {
+        std::size_t task_index = r.size();
+        SimTime release = r.i64();
+        std::uint64_t seq = r.u64();
+        if (task_index >= tasks_.size())
+            throw std::runtime_error("snapshot ready-queue names an unknown task");
+        ready_.push_back({tasks_[task_index].get(), release, seq});
+    }
+    std::size_t n_tasks = r.size();
+    if (n_tasks != tasks_.size())
+        throw std::runtime_error("snapshot task count does not match this node");
+    for (auto& t : tasks_) {
+        t->in_latch = r.doubles();
+        t->job_pending = r.b();
+        TaskStats& s = t->stats;
+        s.releases = r.u64();
+        s.completions = r.u64();
+        s.overruns = r.u64();
+        s.deadline_misses = r.u64();
+        s.suppressed = r.u64();
+        s.worst_response = r.i64();
+        std::size_t n_off = r.size();
+        s.output_offsets.clear();
+        s.output_offsets.reserve(n_off);
+        for (std::size_t i = 0; i < n_off; ++i) s.output_offsets.push_back(r.i64());
+        std::vector<double> body = r.doubles();
+        std::size_t used = t->body->load_state(body);
+        if (used != body.size())
+            throw std::runtime_error("task body consumed a different state size");
+    }
 }
 
 void Node::set_local_signal(int index, double value) {
@@ -219,21 +313,151 @@ std::uint64_t Target::total_instr_cycles() const {
     return total;
 }
 
+void Target::save_state(StateWriter& w) const {
+    if (!started_)
+        throw std::runtime_error("cannot snapshot a target before start()");
+    if (sim_.pending_one_shot() != ops_.size())
+        throw std::runtime_error(
+            "one-shot simulator events pending outside the op registry "
+            "(raw closures cannot be restored)");
+    sim_.save_state(w);
+    w.b(paused_);
+    w.b(single_step_);
+    w.str(step_filter_);
+    w.u64(next_op_);
+    w.size(ops_.size());
+    for (const auto& [id, rec] : ops_) {
+        w.u64(id);
+        w.i64(rec.t);
+        w.u64(rec.seq);
+        const PendingOp& op = rec.op;
+        w.u8(static_cast<std::uint8_t>(op.kind));
+        w.i32(op.node);
+        w.size(op.task);
+        w.i64(op.release);
+        w.i32(op.sig);
+        w.f64(op.value);
+        w.doubles(op.out);
+        w.size(op.pokes.size());
+        for (auto [addr, value] : op.pokes) {
+            w.u32(addr);
+            w.u32(value);
+        }
+        w.bytes(op.bytes);
+    }
+    w.size(nodes_.size());
+    for (const auto& n : nodes_) n->save_state(w);
+}
+
+void Target::load_state(StateReader& r) {
+    sim_.load_state(r);
+    paused_ = r.b();
+    single_step_ = r.b();
+    step_filter_ = r.str();
+    next_op_ = r.u64();
+    ops_.clear();
+    std::size_t n_ops = r.size();
+    for (std::size_t i = 0; i < n_ops; ++i) {
+        std::uint64_t id = r.u64();
+        SimTime t = r.i64();
+        std::uint64_t seq = r.u64();
+        PendingOp op;
+        op.kind = static_cast<PendingOp::Kind>(r.u8());
+        op.node = r.i32();
+        op.task = r.size();
+        op.release = r.i64();
+        op.sig = r.i32();
+        op.value = r.f64();
+        op.out = r.doubles();
+        std::size_t n_pokes = r.size();
+        op.pokes.clear();
+        op.pokes.reserve(n_pokes);
+        for (std::size_t p = 0; p < n_pokes; ++p) {
+            std::uint32_t addr = r.u32();
+            std::uint32_t value = r.u32();
+            op.pokes.emplace_back(addr, value);
+        }
+        op.bytes = r.bytes();
+        schedule_op_restored(t, seq, id, std::move(op));
+    }
+    std::size_t n_nodes = r.size();
+    if (n_nodes != nodes_.size())
+        throw std::runtime_error("snapshot node count does not match this target");
+    for (auto& n : nodes_) n->load_state(r);
+}
+
 void Target::broadcast(int from_node, int sig_index, double value) {
     for (auto& n : nodes_) {
         if (n->id() == from_node) continue;
-        Node* dest = n.get();
-        sim_.after(net_latency_, [dest, sig_index, value] {
-            dest->set_local_signal(sig_index, value);
-        });
+        PendingOp op;
+        op.kind = PendingOp::Kind::NetDeliver;
+        op.node = n->id();
+        op.sig = sig_index;
+        op.value = value;
+        schedule_op(sim_.now() + net_latency_, std::move(op));
     }
 }
 
 void Target::deliver_debug(int node_id, std::vector<std::uint8_t> bytes, SimTime at) {
     if (!debug_sink_) return;
-    sim_.at(at, [this, node_id, bytes = std::move(bytes), at] {
-        debug_sink_(node_id, bytes, at);
-    });
+    PendingOp op;
+    op.kind = PendingOp::Kind::DebugDeliver;
+    op.node = node_id;
+    op.bytes = std::move(bytes);
+    schedule_op(at, std::move(op));
+}
+
+void Target::schedule_publish(SimTime at, int node, int sig_index, double value) {
+    PendingOp op;
+    op.kind = PendingOp::Kind::PublishSignal;
+    op.node = node;
+    op.sig = sig_index;
+    op.value = value;
+    schedule_op(at, std::move(op));
+}
+
+void Target::schedule_op(SimTime t, PendingOp op) {
+    std::uint64_t id = next_op_++;
+    Simulator::ScheduledEvent ev = sim_.at(t, [this, id] { run_op(id); });
+    ops_.emplace(id, PendingOpRec{std::move(op), t, ev.seq});
+}
+
+void Target::schedule_op_restored(SimTime t, std::uint64_t seq, std::uint64_t id,
+                                  PendingOp op) {
+    sim_.schedule_restored(t, seq, [this, id] { run_op(id); });
+    ops_.emplace(id, PendingOpRec{std::move(op), t, seq});
+}
+
+void Target::run_op(std::uint64_t id) {
+    auto it = ops_.find(id);
+    if (it == ops_.end()) return; // dropped by a restore between schedule and fire
+    PendingOp op = std::move(it->second.op);
+    ops_.erase(it);
+    dispatch_op(std::move(op));
+}
+
+void Target::dispatch_op(PendingOp op) {
+    switch (op.kind) {
+    case PendingOp::Kind::JobComplete:
+        nodes_[static_cast<std::size_t>(op.node)]->complete_job(
+            op.task, op.release, std::move(op.out), std::move(op.pokes),
+            std::move(op.bytes));
+        break;
+    case PendingOp::Kind::OutputLatch: {
+        Node& n = *nodes_[static_cast<std::size_t>(op.node)];
+        n.latch_outputs(*n.tasks_[op.task], op.release, op.out);
+        break;
+    }
+    case PendingOp::Kind::NetDeliver:
+        nodes_[static_cast<std::size_t>(op.node)]->set_local_signal(op.sig, op.value);
+        break;
+    case PendingOp::Kind::DebugDeliver:
+        if (debug_sink_) debug_sink_(op.node, op.bytes, sim_.now());
+        break;
+    case PendingOp::Kind::PublishSignal:
+        nodes_[static_cast<std::size_t>(op.node)]->publish_signal(op.sig, op.value);
+        break;
+    }
 }
 
 } // namespace gmdf::rt

@@ -105,6 +105,18 @@ public:
     /// application cycles consumed (instrumentation cycles are charged
     /// separately through the context).
     virtual std::uint64_t execute(TaskContext& ctx) = 0;
+
+    /// Checkpoint support: appends the body's mutable state as doubles
+    /// (bit-exact; integers and booleans widen losslessly). Stateless
+    /// bodies keep the no-op default.
+    virtual void save_state(std::vector<double>& out) const { (void)out; }
+
+    /// Restores what save_state wrote; returns the number of values
+    /// consumed from the front of `in`.
+    virtual std::size_t load_state(std::span<const double> in) {
+        (void)in;
+        return 0;
+    }
 };
 
 struct TaskConfig {
@@ -189,14 +201,20 @@ private:
         std::vector<double> in_latch;
         TaskStats stats;
         bool job_pending = false;
+        std::size_t index = 0; ///< position in tasks_ (op serialization)
     };
 
     void start_tasks();
     void on_release(Task& task);
     void start_next_job();
+    void complete_job(std::size_t task_index, SimTime release, std::vector<double> out,
+                      std::vector<std::pair<std::uint32_t, std::uint32_t>> pokes,
+                      std::vector<std::uint8_t> bytes);
     void finish_job(Task& task, SimTime release, std::vector<double> out);
     void latch_outputs(Task& task, SimTime release, const std::vector<double>& out);
     void set_local_signal(int index, double value);
+    void save_state(StateWriter& w) const;
+    void load_state(StateReader& r);
 
     Target* target_;
     int id_;
@@ -221,6 +239,15 @@ private:
 };
 
 /// The whole simulated platform: simulator + nodes + broadcast network.
+///
+/// Checkpoint/restore: every one-shot simulator event the platform
+/// schedules (job completions, deferred output latches, network
+/// deliveries, debug-UART deliveries, scheduled environment stimuli)
+/// flows through a typed pending-operation registry, so a snapshot can
+/// serialize the in-flight work as data and a restore can re-create it
+/// with the original dispatch ordering. Environment/test harnesses that
+/// want their stimuli to survive a rewind must use schedule_publish()
+/// instead of scheduling raw closures on sim().
 class Target {
 public:
     explicit Target(OutputMode mode = OutputMode::LatchAtDeadline) : mode_(mode) {}
@@ -271,9 +298,57 @@ public:
     /// Total instrumentation cycles across all nodes.
     [[nodiscard]] std::uint64_t total_instr_cycles() const;
 
+    /// Schedules a rewind-safe environment stimulus: at time `at`,
+    /// node `node` publishes `value` on signal `sig_index`. Unlike a raw
+    /// sim().at() closure, the stimulus lives in the pending-operation
+    /// registry and survives checkpoint/restore.
+    void schedule_publish(SimTime at, int node, int sig_index, double value);
+
+    /// Serializes the whole platform: simulator, pause/step state, the
+    /// pending-operation registry, and every node (RAM, signal replicas,
+    /// scheduler state, task statistics, task-body state). Throws
+    /// std::runtime_error when a one-shot simulator event exists outside
+    /// the registry (a raw closure that could not be restored).
+    void save_state(StateWriter& w) const;
+
+    /// In-place restore of a snapshot taken from this same platform.
+    void load_state(StateReader& r);
+
 private:
     friend class Node;
     friend class TaskContext;
+
+    /// One serialized in-flight operation (the data behind what used to
+    /// be a one-shot closure).
+    struct PendingOp {
+        enum class Kind : std::uint8_t {
+            JobComplete = 1,  ///< apply pokes, emit UART bytes, finish the job
+            OutputLatch = 2,  ///< timed-multitasking deferred output latch
+            NetDeliver = 3,   ///< one-hop signal delivery to another node
+            DebugDeliver = 4, ///< debug bytes reach the host sink
+            PublishSignal = 5 ///< scheduled environment stimulus
+        };
+        Kind kind = Kind::JobComplete;
+        int node = 0;
+        std::size_t task = 0;
+        SimTime release = 0;
+        int sig = 0;
+        double value = 0.0;
+        std::vector<double> out;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> pokes;
+        std::vector<std::uint8_t> bytes;
+    };
+    struct PendingOpRec {
+        PendingOp op;
+        SimTime t = 0;
+        std::uint64_t seq = 0;
+    };
+
+    void schedule_op(SimTime t, PendingOp op);
+    void schedule_op_restored(SimTime t, std::uint64_t seq, std::uint64_t id,
+                              PendingOp op);
+    void run_op(std::uint64_t id);
+    void dispatch_op(PendingOp op);
 
     void broadcast(int from_node, int sig_index, double value);
     void deliver_debug(int node_id, std::vector<std::uint8_t> bytes, SimTime at);
@@ -289,6 +364,8 @@ private:
     bool paused_ = false;
     bool single_step_ = false;
     std::string step_filter_;
+    std::map<std::uint64_t, PendingOpRec> ops_; ///< in-flight one-shot work
+    std::uint64_t next_op_ = 1;
 };
 
 } // namespace gmdf::rt

@@ -377,7 +377,10 @@ TEST(Controller, RenderTraceReplayHelpQuit) {
 }
 
 // Every verb the dispatcher registers is exercised with a passing
-// request — new verbs must come with coverage or this fails.
+// request — new verbs must come with coverage or this fails. The
+// time-travel verbs need a deterministic target with a timeline, so
+// they run against a built-in scenario; everything else runs on the
+// scripted session.
 TEST(Controller, EveryRegisteredVerbHasAPassingRequest) {
     ScriptedSession s;
     const std::vector<std::string> program = {
@@ -394,6 +397,21 @@ TEST(Controller, EveryRegisteredVerbHasAPassingRequest) {
         ASSERT_TRUE(parsed.ok());
         exercised.insert(parsed.request->verb);
     }
+
+    auto scenario = gp::make_scenario("blinker");
+    ASSERT_NE(scenario, nullptr);
+    const std::vector<std::string> replay_program = {
+        "checkpoint auto 100", "checkpoint now", "run 300", "checkpoint list",
+        "rewind 150",          "run 150",        "step-back 1", "bisect",
+    };
+    for (const std::string& line : replay_program) {
+        auto resp = scenario->controller().execute_line(line);
+        EXPECT_TRUE(resp.ok()) << line << " -> " << gp::format_response(resp);
+        auto parsed = gp::parse_request(line);
+        ASSERT_TRUE(parsed.ok());
+        exercised.insert(parsed.request->verb);
+    }
+
     auto verbs = s.session->controller().dispatcher().verbs();
     for (const std::string& verb : verbs)
         EXPECT_TRUE(exercised.contains(verb)) << "verb '" << verb << "' untested";

@@ -1,5 +1,6 @@
 #include "hub/controller.hpp"
 
+#include <algorithm>
 #include <iterator>
 #include <string>
 
@@ -31,26 +32,33 @@ std::string entry_line(SessionRegistry::Entry& e, bool is_current) {
 } // namespace
 
 HubController::HubController() {
-    auto bind = [this](proto::Response (HubController::*fn)(const proto::Request&)) {
-        return [this, fn](const proto::Request& req) { return (this->*fn)(req); };
-    };
+    // Hub-level verbs are dispatched by execute_line itself (they need
+    // the caller's RouteContext); these rows exist for the merged help
+    // listing only, hence the null handlers.
     hub_dispatcher_.add({"session", "session open <scenario> [name]",
-                         "host a new session (becomes current)",
-                         bind(&HubController::cmd_session)});
+                         "host a new session (becomes current)", nullptr});
     hub_dispatcher_.add({"session", "session close [session]",
                          "close a session (default: current)", nullptr});
     hub_dispatcher_.add({"session", "session list", "list hosted sessions", nullptr});
     hub_dispatcher_.add({"session", "session use <session>",
                          "switch the current session", nullptr});
-    hub_dispatcher_.add({"session", "session stats",
-                         "hub totals: sessions, scheduler, aggregate engine counters",
+    hub_dispatcher_.add({"session", "session stats [net]",
+                         "hub totals: sessions, scheduler, aggregate engine counters"
+                         " (net: network server + per-connection)",
+                         nullptr});
+    hub_dispatcher_.add({"attach", "attach <session>",
+                         "switch this client's current session", nullptr});
+    hub_dispatcher_.add({"acl", "acl allow <session> [...]",
+                         "restrict this client to the listed sessions", nullptr});
+    hub_dispatcher_.add({"acl", "acl clear|show",
+                         "lift this client's restriction / show its allowlist",
                          nullptr});
 }
 
 SessionRegistry::Entry* HubController::open(std::string_view scenario, std::string name,
                                             SessionRegistry::OpenError* error) {
     SessionRegistry::Entry* entry = registry_.open(scenario, std::move(name), error);
-    if (entry != nullptr) install(*entry);
+    if (entry != nullptr) install(*entry, root_);
     return entry;
 }
 
@@ -59,11 +67,11 @@ SessionRegistry::Entry* HubController::adopt(std::unique_ptr<proto::Scenario> sc
                                              SessionRegistry::OpenError* error) {
     SessionRegistry::Entry* entry =
         registry_.adopt(std::move(scenario), std::move(name), error);
-    if (entry != nullptr) install(*entry);
+    if (entry != nullptr) install(*entry, root_);
     return entry;
 }
 
-void HubController::install(SessionRegistry::Entry& entry) {
+void HubController::install(SessionRegistry::Entry& entry, RouteContext& ctx) {
     // `run` on any hosted session pumps the whole hub: every live
     // session advances concurrently through the scheduler instead of
     // only the addressed session's transports. Each slice also gives the
@@ -76,7 +84,8 @@ void HubController::install(SessionRegistry::Entry& entry) {
                 pumped.scenario->timeline->maybe_capture();
         });
     });
-    current_ = entry.id;
+    ctx.current = entry.id;
+    ctx.opened.push_back(entry.id);
     if (registry_.size() > 1) multi_ = true;
 }
 
@@ -84,6 +93,12 @@ void HubController::collect_events(SessionRegistry::Entry& entry) {
     for (const proto::Event& ev : entry.controller().drain_events()) {
         std::string line = proto::format_event(ev);
         if (multi_) line = "[" + entry.name + "] " + line;
+        if (event_sink_) {
+            // Fan-out mode: the server owns per-connection queues and
+            // backpressure; the hub's own queue stays empty.
+            event_sink_(entry.id, entry.name, line);
+            continue;
+        }
         if (event_capacity_ != 0 && event_lines_.size() >= event_capacity_) {
             event_lines_.pop_front();
             ++stats_.events_dropped;
@@ -110,6 +125,11 @@ proto::Response HubController::hub_error(proto::ErrorCode code, std::string mess
     return proto::Response::make_error(code, std::move(message));
 }
 
+proto::Response HubController::acl_denied(const std::string& name) {
+    return hub_error(proto::ErrorCode::BadState,
+                     "session '" + name + "' is outside this client's acl");
+}
+
 proto::Response HubController::route(SessionRegistry::Entry& entry,
                                      std::string_view line) {
     proto::Response resp = entry.controller().execute_line(line);
@@ -118,6 +138,10 @@ proto::Response HubController::route(SessionRegistry::Entry& entry,
 }
 
 proto::Response HubController::execute_line(std::string_view line) {
+    return execute_line(line, root_);
+}
+
+proto::Response HubController::execute_line(std::string_view line, RouteContext& ctx) {
     // Tolerate untrimmed client lines the way parse_request does —
     // otherwise "  session list" would be mis-routed into a session.
     line = skip_blanks(line);
@@ -136,27 +160,40 @@ proto::Response HubController::execute_line(std::string_view line) {
             return hub_error(proto::ErrorCode::NotFound,
                              "no session '@" + std::string(tag) +
                                  "' (see 'session list')");
+        if (!ctx.allows(entry->id, entry->name)) return acl_denied(entry->name);
         addressed = true;
         line = skip_blanks(line.substr(space + 1));
         if (line.empty())
             return hub_error(proto::ErrorCode::BadRequest,
                              "usage: @<session> <verb ...>");
     }
-    if (!addressed) entry = current();
+    if (!addressed) entry = registry_.find(ctx.current);
 
     std::string_view verb = first_token(line);
-    if (verb == "session") {
+    if (verb == "session" || verb == "attach" || verb == "acl") {
         // Silently dropping the prefix would make '@cell session close'
         // act on the *current* session — refuse instead.
         if (addressed)
             return hub_error(proto::ErrorCode::BadArgument,
-                             "session verbs are hub-level; use 'session "
-                             "close|use <session>' instead of '@<session> session ...'");
+                             "hub-level verbs cannot be session-addressed; drop "
+                             "the '@<session>' prefix");
         auto parsed = proto::parse_request(line);
         if (!parsed.ok())
             return hub_error(proto::ErrorCode::BadRequest, parsed.error);
         ++stats_.requests;
-        proto::Response resp = hub_dispatcher_.dispatch(*parsed.request);
+        proto::Response resp;
+        try {
+            if (verb == "session") resp = cmd_session(*parsed.request, ctx);
+            else if (verb == "attach") resp = cmd_attach(*parsed.request, ctx);
+            else resp = cmd_acl(*parsed.request, ctx);
+        } catch (const std::exception& e) {
+            resp = proto::Response::make_error(proto::ErrorCode::Internal,
+                                               std::string(verb) + " failed: " +
+                                                   e.what());
+        } catch (...) {
+            resp = proto::Response::make_error(proto::ErrorCode::Internal,
+                                               std::string(verb) + " failed");
+        }
         if (!resp.ok()) ++stats_.request_errors;
         return resp;
     }
@@ -165,8 +202,9 @@ proto::Response HubController::execute_line(std::string_view line) {
         auto parsed = proto::parse_request(line);
         if (parsed.ok()) {
             const auto& args = parsed.request->args;
-            if (args.size() == 1 && args[0] == "session")
-                return hub_ok(hub_dispatcher_.help_lines("session"));
+            if (args.size() == 1 &&
+                (args[0] == "session" || args[0] == "attach" || args[0] == "acl"))
+                return hub_ok(hub_dispatcher_.help_lines(args[0]));
             if (args.empty()) {
                 if (entry == nullptr) return hub_ok(hub_dispatcher_.help_lines());
                 // One combined listing: the session's verbs, then the
@@ -189,41 +227,56 @@ proto::Response HubController::execute_line(std::string_view line) {
     return route(*entry, line);
 }
 
-// ---- session verb -----------------------------------------------------------
+void HubController::release_context(RouteContext& ctx) {
+    // Close only what this client opened; sessions hosted by the
+    // embedder or other clients are none of its business. close_entry
+    // edits ctx.opened, so iterate over a copy.
+    std::vector<int> opened = ctx.opened;
+    for (int id : opened) {
+        SessionRegistry::Entry* entry = registry_.find(id);
+        if (entry != nullptr) close_entry(*entry, ctx);
+    }
+    ctx = RouteContext{};
+}
 
-proto::Response HubController::cmd_session(const proto::Request& req) {
+// ---- hub-level verbs --------------------------------------------------------
+
+proto::Response HubController::cmd_session(const proto::Request& req,
+                                           RouteContext& ctx) {
     if (req.args.empty())
         return proto::Response::make_error(
             proto::ErrorCode::BadArgument,
             "usage: session open|close|list|use|stats ...");
     const std::string& sub = req.args[0];
-    if (sub == "open") return session_open(req);
-    if (sub == "close") return session_close(req);
+    if (sub == "open") return session_open(req, ctx);
+    if (sub == "close") return session_close(req, ctx);
     if (sub == "list") {
         if (req.args.size() != 1)
             return proto::Response::make_error(proto::ErrorCode::BadArgument,
                                                "usage: session list");
-        return session_list();
+        return session_list(ctx);
     }
-    if (sub == "use") return session_use(req);
+    if (sub == "use") return session_use(req, ctx);
     if (sub == "stats") {
+        if (req.args.size() == 2 && req.args[1] == "net") return session_stats_net();
         if (req.args.size() != 1)
             return proto::Response::make_error(proto::ErrorCode::BadArgument,
-                                               "usage: session stats");
+                                               "usage: session stats [net]");
         return session_stats();
     }
     return proto::Response::make_error(proto::ErrorCode::BadArgument,
                                        "usage: session open|close|list|use|stats ...");
 }
 
-proto::Response HubController::session_open(const proto::Request& req) {
+proto::Response HubController::session_open(const proto::Request& req,
+                                            RouteContext& ctx) {
     if (req.args.size() < 2 || req.args.size() > 3)
         return proto::Response::make_error(proto::ErrorCode::BadArgument,
                                            "usage: session open <scenario> [name]");
     const std::string& scenario = req.args[1];
     const std::string& name = req.args.size() == 3 ? req.args[2] : req.args[1];
     SessionRegistry::OpenError error = SessionRegistry::OpenError::None;
-    SessionRegistry::Entry* entry = open(scenario, name, &error);
+    SessionRegistry::Entry* entry = registry_.open(scenario, name, &error);
     if (entry == nullptr) {
         switch (error) {
         case SessionRegistry::OpenError::BadName:
@@ -239,13 +292,29 @@ proto::Response HubController::session_open(const proto::Request& req) {
                                                "no scenario '" + scenario + "'");
         }
     }
+    install(*entry, ctx);
     return proto::Response::make_ok(
         {"session " + std::to_string(entry->id) + " " + entry->name +
              " opened (scenario " + scenario + ")",
          "current " + entry->name});
 }
 
-proto::Response HubController::session_close(const proto::Request& req) {
+void HubController::close_entry(SessionRegistry::Entry& entry, RouteContext& ctx) {
+    int id = entry.id;
+    collect_events(entry); // don't lose queued events with the session
+    registry_.close(id);
+    scheduler_.forget(id); // ids never return; keep the stats map bounded
+    std::erase(ctx.opened, id);
+    if (ctx.current == id)
+        ctx.current = registry_.entries().empty() ? 0 : registry_.entries().front()->id;
+    // The root REPL must not keep routing into a dead session either.
+    if (&ctx != &root_ && root_.current == id)
+        root_.current =
+            registry_.entries().empty() ? 0 : registry_.entries().front()->id;
+}
+
+proto::Response HubController::session_close(const proto::Request& req,
+                                             RouteContext& ctx) {
     if (req.args.size() > 2)
         return proto::Response::make_error(proto::ErrorCode::BadArgument,
                                            "usage: session close [session]");
@@ -255,35 +324,36 @@ proto::Response HubController::session_close(const proto::Request& req) {
         if (entry == nullptr)
             return proto::Response::make_error(proto::ErrorCode::NotFound,
                                                "no session '" + req.args[1] + "'");
+        if (!ctx.allows(entry->id, entry->name))
+            return proto::Response::make_error(
+                proto::ErrorCode::BadState,
+                "session '" + entry->name + "' is outside this client's acl");
     } else {
-        entry = current();
+        entry = registry_.find(ctx.current);
         if (entry == nullptr)
             return proto::Response::make_error(proto::ErrorCode::BadState,
                                                "no open session");
     }
     int id = entry->id;
     std::string name = entry->name;
-    collect_events(*entry); // don't lose queued events with the session
-    registry_.close(id);
-    scheduler_.forget(id); // ids never return; keep the stats map bounded
-    if (current_ == id)
-        current_ = registry_.entries().empty() ? 0 : registry_.entries().front()->id;
+    close_entry(*entry, ctx);
     std::vector<std::string> body = {"session " + std::to_string(id) + " " + name +
                                      " closed"};
-    SessionRegistry::Entry* now_current = current();
+    SessionRegistry::Entry* now_current = registry_.find(ctx.current);
     body.push_back("current " + (now_current ? now_current->name : "(none)"));
     return proto::Response::make_ok(std::move(body));
 }
 
-proto::Response HubController::session_list() {
+proto::Response HubController::session_list(const RouteContext& ctx) {
     std::vector<std::string> body = {"sessions " +
                                      std::to_string(registry_.size())};
     for (const auto& e : registry_.entries())
-        body.push_back(entry_line(*e, e->id == current_));
+        body.push_back(entry_line(*e, e->id == ctx.current));
     return proto::Response::make_ok(std::move(body));
 }
 
-proto::Response HubController::session_use(const proto::Request& req) {
+proto::Response HubController::session_use(const proto::Request& req,
+                                           RouteContext& ctx) {
     if (req.args.size() != 2)
         return proto::Response::make_error(proto::ErrorCode::BadArgument,
                                            "usage: session use <session>");
@@ -291,7 +361,11 @@ proto::Response HubController::session_use(const proto::Request& req) {
     if (entry == nullptr)
         return proto::Response::make_error(proto::ErrorCode::NotFound,
                                            "no session '" + req.args[1] + "'");
-    current_ = entry->id;
+    if (!ctx.allows(entry->id, entry->name))
+        return proto::Response::make_error(
+            proto::ErrorCode::BadState,
+            "session '" + entry->name + "' is outside this client's acl");
+    ctx.current = entry->id;
     return proto::Response::make_ok({"current " + entry->name});
 }
 
@@ -315,6 +389,77 @@ proto::Response HubController::session_stats() {
         "events-emitted " + std::to_string(total.events_emitted),
         "events-dropped " + std::to_string(total.events_dropped),
     });
+}
+
+proto::Response HubController::session_stats_net() {
+    if (!net_stats_provider_)
+        return proto::Response::make_error(proto::ErrorCode::BadState,
+                                           "no network server attached");
+    return proto::Response::make_ok(net_stats_provider_());
+}
+
+proto::Response HubController::cmd_attach(const proto::Request& req,
+                                          RouteContext& ctx) {
+    if (req.args.size() != 1)
+        return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                           "usage: attach <session>");
+    SessionRegistry::Entry* entry = registry_.resolve(req.args[0]);
+    if (entry == nullptr)
+        return proto::Response::make_error(proto::ErrorCode::NotFound,
+                                           "no session '" + req.args[0] + "'");
+    if (!ctx.allows(entry->id, entry->name))
+        return proto::Response::make_error(
+            proto::ErrorCode::BadState,
+            "session '" + entry->name + "' is outside this client's acl");
+    ctx.current = entry->id;
+    return proto::Response::make_ok(
+        {"attached " + entry->name + " (session " + std::to_string(entry->id) + ")"});
+}
+
+proto::Response HubController::cmd_acl(const proto::Request& req, RouteContext& ctx) {
+    auto show = [&ctx]() {
+        if (!ctx.restricted)
+            return proto::Response::make_ok({"acl unrestricted"});
+        std::string line = "acl";
+        for (const std::string& name : ctx.acl) line += " " + name;
+        if (ctx.acl.empty()) line += " (opened sessions only)";
+        return proto::Response::make_ok({line});
+    };
+    if (req.args.empty() || req.args[0] == "show") {
+        if (req.args.size() > 1)
+            return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                               "usage: acl show");
+        return show();
+    }
+    if (req.args[0] == "clear") {
+        if (req.args.size() != 1)
+            return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                               "usage: acl clear");
+        ctx.restricted = false;
+        ctx.acl.clear();
+        return show();
+    }
+    if (req.args[0] == "allow") {
+        if (req.args.size() < 2)
+            return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                               "usage: acl allow <session> [...]");
+        // Names are taken as given (a session may be opened later under
+        // an allowed name); ids are rejected because they are only
+        // meaningful for live sessions.
+        for (std::size_t i = 1; i < req.args.size(); ++i) {
+            if (!SessionRegistry::valid_name(req.args[i]))
+                return proto::Response::make_error(
+                    proto::ErrorCode::BadArgument,
+                    "'" + req.args[i] + "' is not a valid session name");
+            if (std::find(ctx.acl.begin(), ctx.acl.end(), req.args[i]) ==
+                ctx.acl.end())
+                ctx.acl.push_back(req.args[i]);
+        }
+        ctx.restricted = true;
+        return show();
+    }
+    return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                       "usage: acl allow|clear|show ...");
 }
 
 } // namespace gmdf::hub

@@ -9,8 +9,12 @@
 //   session list                     list hosted sessions
 //   session use <session>            switch the current session
 //   session stats                    hub totals and aggregate counters
+//   session stats net                network server + per-connection counters
 //   @<session> <verb ...>            route one request to a session by
 //                                    id or name without switching
+//   attach <session>                 switch this client's session (= use)
+//   acl allow|clear|show ...         restrict which sessions this client
+//                                    may address or receive events from
 //
 // Every other verb is dispatched to the addressed (or current) session's
 // own controller, whose `run` hook the hub rebinds to the scheduler — so
@@ -20,10 +24,19 @@
 // "[<name>] " session tag only once a second concurrent session has
 // been opened (the tagging latches on for the rest of the hub's life,
 // so a transcript never changes shape mid-stream when sessions close).
+//
+// Multi-client routing: every request executes under a RouteContext —
+// the per-client view of the hub (current session, ACL allowlist,
+// sessions this client opened). The plain ScriptClient face runs under
+// the hub's own root context, so a single-client transcript is
+// unchanged; a network server passes one context per connection, giving
+// each client its own `session use` state and allowlist over the same
+// shared fleet.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +47,27 @@
 #include "proto/script.hpp"
 
 namespace gmdf::hub {
+
+/// One client's view of the hub: which session its unaddressed verbs
+/// route to, which sessions it may touch, and which it opened (and
+/// therefore owns). The hub keeps a root context for its direct
+/// ScriptClient face; a network server keeps one per connection.
+struct RouteContext {
+    int current = 0;              ///< session id unaddressed verbs route to
+    bool restricted = false;      ///< false: every session is allowed
+    std::vector<std::string> acl; ///< allowed session names (when restricted)
+    std::vector<int> opened;      ///< ids opened via this context (always allowed)
+
+    /// May this client address / receive events from the session?
+    [[nodiscard]] bool allows(int id, std::string_view name) const {
+        if (!restricted) return true;
+        for (int own : opened)
+            if (own == id) return true;
+        for (const std::string& a : acl)
+            if (a == name) return true;
+        return false;
+    }
+};
 
 class HubController final : public proto::ScriptClient {
 public:
@@ -69,16 +103,47 @@ public:
 
     /// The current session (unaddressed verbs route here); null when no
     /// session is open.
-    [[nodiscard]] SessionRegistry::Entry* current() { return registry_.find(current_); }
+    [[nodiscard]] SessionRegistry::Entry* current() { return registry_.find(root_.current); }
+
+    /// The hub's own client view (what the plain ScriptClient face runs
+    /// under).
+    [[nodiscard]] RouteContext& root_context() { return root_; }
 
     /// Executes one request line: resolves an optional @<session>
-    /// prefix, handles `session` verbs at hub level, and routes
-    /// everything else to the addressed session. Never throws.
+    /// prefix, handles `session`/`attach`/`acl` verbs at hub level, and
+    /// routes everything else to the addressed session. Never throws.
     proto::Response execute_line(std::string_view line) override;
+
+    /// Same, under an explicit per-client context (a network connection).
+    proto::Response execute_line(std::string_view line, RouteContext& ctx);
+
+    /// Releases one client's grip on the hub when it goes away: closes
+    /// the sessions this context opened (a client must never tear down
+    /// sessions it didn't open — those are left untouched) and clears
+    /// the context. Safe against sessions already closed by other means.
+    void release_context(RouteContext& ctx);
 
     /// Formatted event lines from every hosted session, oldest first,
     /// tagged with their session once the hub has gone multi-session.
     std::vector<std::string> drain_event_lines() override;
+
+    /// Network fan-out hook: with a sink installed, event lines bypass
+    /// the hub's own queue and are handed to the sink as they are
+    /// collected (already formatted and session-tagged), together with
+    /// the emitting session's identity so a server can fan them out
+    /// per-connection under each connection's ACL.
+    using EventSink =
+        std::function<void(int session_id, std::string_view session_name,
+                           const std::string& line)>;
+    void set_event_sink(EventSink sink) { event_sink_ = std::move(sink); }
+
+    /// `session stats net` delegates here; installed by a network server
+    /// (bad-state without one, so non-networked transcripts never grow
+    /// nondeterministic counter lines).
+    using NetStatsProvider = std::function<std::vector<std::string>()>;
+    void set_net_stats_provider(NetStatsProvider provider) {
+        net_stats_provider_ = std::move(provider);
+    }
 
     /// Bounds the hub event queue (a client not draining must not grow
     /// memory without bound; the oldest lines are evicted and counted in
@@ -99,24 +164,31 @@ private:
     proto::Response hub_ok(std::vector<std::string> body);
     proto::Response hub_error(proto::ErrorCode code, std::string message);
     proto::Response route(SessionRegistry::Entry& entry, std::string_view line);
-    void install(SessionRegistry::Entry& entry);
+    void install(SessionRegistry::Entry& entry, RouteContext& ctx);
     void collect_events(SessionRegistry::Entry& entry);
+    void close_entry(SessionRegistry::Entry& entry, RouteContext& ctx);
+    proto::Response acl_denied(const std::string& name);
 
-    proto::Response cmd_session(const proto::Request& req);
-    proto::Response session_open(const proto::Request& req);
-    proto::Response session_close(const proto::Request& req);
-    proto::Response session_list();
-    proto::Response session_use(const proto::Request& req);
+    proto::Response cmd_session(const proto::Request& req, RouteContext& ctx);
+    proto::Response session_open(const proto::Request& req, RouteContext& ctx);
+    proto::Response session_close(const proto::Request& req, RouteContext& ctx);
+    proto::Response session_list(const RouteContext& ctx);
+    proto::Response session_use(const proto::Request& req, RouteContext& ctx);
     proto::Response session_stats();
+    proto::Response session_stats_net();
+    proto::Response cmd_attach(const proto::Request& req, RouteContext& ctx);
+    proto::Response cmd_acl(const proto::Request& req, RouteContext& ctx);
 
     SessionRegistry registry_;
     PollScheduler scheduler_;
     proto::Dispatcher hub_dispatcher_;
-    int current_ = 0;
+    RouteContext root_;
     bool multi_ = false;
     HubStats stats_;
     std::size_t event_capacity_ = 65536;
     std::deque<std::string> event_lines_;
+    EventSink event_sink_;
+    NetStatsProvider net_stats_provider_;
 };
 
 } // namespace gmdf::hub

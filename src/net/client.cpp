@@ -1,0 +1,204 @@
+#include "net/client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "proto/message.hpp"
+
+namespace gmdf::net {
+
+namespace {
+
+void set_nodelay(int fd) {
+    int one = 1;
+    (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_error(std::string* error, std::string what) {
+    if (error != nullptr) *error = std::move(what);
+}
+
+} // namespace
+
+bool split_host_port(std::string_view spec, std::string& host, std::uint16_t& port) {
+    std::size_t colon = spec.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 || colon + 1 >= spec.size())
+        return false;
+    std::uint32_t value = 0;
+    for (char c : spec.substr(colon + 1)) {
+        if (c < '0' || c > '9') return false;
+        value = value * 10 + static_cast<std::uint32_t>(c - '0');
+        if (value > 65535) return false;
+    }
+    if (value == 0) return false;
+    host.assign(spec.substr(0, colon));
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+std::unique_ptr<Channel> Channel::connect(const std::string& host, std::uint16_t port,
+                                          std::string* error) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+    if (rc != 0) {
+        set_error(error, "resolve " + host + ": " + gai_strerror(rc));
+        return nullptr;
+    }
+
+    int fd = -1;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        set_error(error, "connect " + host + ":" + std::to_string(port) + ": " +
+                             std::strerror(errno));
+        return nullptr;
+    }
+    set_nodelay(fd);
+
+    std::unique_ptr<Channel> channel(new Channel(fd));
+    std::string handshake(kMagic);
+    handshake += encode_frame(FrameType::Hello, hello_payload());
+    if (!channel->send_all(handshake)) {
+        set_error(error, "handshake send failed: " + std::string(std::strerror(errno)));
+        return nullptr;
+    }
+    Frame reply;
+    std::string read_error;
+    if (!channel->read_frame(reply, &read_error)) {
+        set_error(error, "handshake: " + read_error);
+        return nullptr;
+    }
+    if (reply.type == FrameType::Error) {
+        set_error(error, "server refused: " + reply.payload);
+        return nullptr;
+    }
+    if (reply.type != FrameType::Hello ||
+        parse_hello(reply.payload) != kProtocolVersion) {
+        set_error(error, "unexpected handshake reply");
+        return nullptr;
+    }
+    return channel;
+}
+
+Channel::~Channel() { shutdown(); }
+
+void Channel::shutdown() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool Channel::send_all(std::string_view bytes) {
+    while (!bytes.empty()) {
+        ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            bytes.remove_prefix(static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        shutdown();
+        return false;
+    }
+    return true;
+}
+
+bool Channel::read_frame(Frame& out, std::string* error) {
+    char chunk[16384];
+    while (true) {
+        FrameReader::Status st = frames_.next(out);
+        if (st == FrameReader::Status::Ready) return true;
+        if (st == FrameReader::Status::Error) {
+            set_error(error, frames_.error());
+            shutdown();
+            return false;
+        }
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            frames_.feed({chunk, static_cast<std::size_t>(n)});
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        set_error(error, n == 0 ? "connection closed by server"
+                                : std::string(std::strerror(errno)));
+        shutdown();
+        return false;
+    }
+}
+
+proto::Response Channel::execute_line(std::string_view line) {
+    auto transport_error = [](std::string message) {
+        return proto::Response::make_error(proto::ErrorCode::Internal,
+                                           "network: " + std::move(message));
+    };
+    if (fd_ < 0) return transport_error("not connected");
+
+    // A caller that skipped drain_event_lines() leaves the previous
+    // request's tail on the wire; consume through its done marker first.
+    if (!last_done_) (void)drain_event_lines();
+
+    if (!send_all(encode_frame(FrameType::Request, line)))
+        return transport_error("send failed");
+
+    Frame frame;
+    std::string error;
+    while (true) {
+        if (!read_frame(frame, &error)) return transport_error(error);
+        switch (frame.type) {
+        case FrameType::Event:
+            events_.push_back(std::move(frame.payload));
+            break;
+        case FrameType::Response: {
+            auto resp = proto::parse_response(frame.payload);
+            if (!resp.has_value())
+                return transport_error("unparsable response frame");
+            last_done_ = false;
+            return *resp;
+        }
+        case FrameType::Error:
+            shutdown();
+            return transport_error("protocol error: " + frame.payload);
+        case FrameType::Done:
+            break; // stray marker (skipped drain); keep reading
+        default:
+            shutdown();
+            return transport_error("unexpected frame from server");
+        }
+    }
+}
+
+std::vector<std::string> Channel::drain_event_lines() {
+    if (fd_ >= 0 && !last_done_) {
+        Frame frame;
+        std::string error;
+        while (true) {
+            if (!read_frame(frame, &error)) break;
+            if (frame.type == FrameType::Done) break;
+            if (frame.type == FrameType::Event)
+                events_.push_back(std::move(frame.payload));
+            else
+                break; // response frames never precede the done marker
+        }
+        last_done_ = true;
+    }
+    std::vector<std::string> out(events_.begin(), events_.end());
+    events_.clear();
+    return out;
+}
+
+} // namespace gmdf::net

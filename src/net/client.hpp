@@ -1,0 +1,70 @@
+// net::Channel — a proto::ScriptClient that lives across a TCP socket.
+//
+// The client half of the frame codec: connect() dials a gmdf_serve
+// instance, performs the magic + versioned-hello handshake, and then
+// every execute_line() becomes a request frame. The server answers with
+// a response frame, the event lines the request raised, and a done
+// marker; Channel hands them back through the same ScriptClient
+// interface an in-process HubController implements, so proto::run_script
+// (and with it every .gds script and golden transcript) runs over the
+// network unchanged.
+//
+// The socket is blocking — a script client has nothing useful to do
+// while its one outstanding request is in flight. Load generators that
+// want thousands of concurrent connections drive raw non-blocking
+// sockets with the codec directly (see bench/bench_p5_net.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "proto/script.hpp"
+
+namespace gmdf::net {
+
+class Channel final : public proto::ScriptClient {
+public:
+    /// Dials host:port (IPv4 dotted quad or name) and shakes hands.
+    /// Null on failure, with the reason in *error when provided.
+    static std::unique_ptr<Channel> connect(const std::string& host,
+                                            std::uint16_t port,
+                                            std::string* error = nullptr);
+
+    ~Channel() override;
+
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /// Sends one request and blocks for its response frame. Transport
+    /// failures surface as Internal error Responses, never exceptions.
+    proto::Response execute_line(std::string_view line) override;
+
+    /// Event lines for the last request (everything up to its done
+    /// marker), plus any events the server pushed in between.
+    std::vector<std::string> drain_event_lines() override;
+
+    [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+private:
+    explicit Channel(int fd) : fd_(fd) {}
+
+    bool send_all(std::string_view bytes);
+    /// Reads until a frame arrives; false on EOF/error.
+    bool read_frame(Frame& out, std::string* error);
+    void shutdown();
+
+    int fd_ = -1;
+    FrameReader frames_{1 << 20};
+    std::deque<std::string> events_; ///< buffered event lines
+    bool last_done_ = true; ///< done marker for the last request consumed
+};
+
+/// Splits "host:port"; false when the port is missing or malformed.
+bool split_host_port(std::string_view spec, std::string& host, std::uint16_t& port);
+
+} // namespace gmdf::net

@@ -1,0 +1,120 @@
+#include "net/codec.hpp"
+
+namespace gmdf::net {
+
+std::string encode_frame(FrameType type, std::string_view text) {
+    std::uint32_t len = static_cast<std::uint32_t>(text.size() + 1);
+    std::string out;
+    out.reserve(4 + len);
+    out.push_back(static_cast<char>(len & 0xff));
+    out.push_back(static_cast<char>((len >> 8) & 0xff));
+    out.push_back(static_cast<char>((len >> 16) & 0xff));
+    out.push_back(static_cast<char>((len >> 24) & 0xff));
+    out.push_back(static_cast<char>(type));
+    out.append(text);
+    return out;
+}
+
+std::string hello_payload() {
+    return std::string(kHelloPrefix) + std::to_string(kProtocolVersion);
+}
+
+int parse_hello(std::string_view payload) {
+    if (!payload.starts_with(kHelloPrefix)) return -1;
+    payload.remove_prefix(kHelloPrefix.size());
+    if (payload.empty() || payload.size() > 9) return -1;
+    int version = 0;
+    for (char c : payload) {
+        if (c < '0' || c > '9') return -1;
+        version = version * 10 + (c - '0');
+    }
+    return version;
+}
+
+// ---- FrameReader ------------------------------------------------------------
+
+void FrameReader::feed(std::string_view bytes) {
+    if (failed_) return;
+    // Compact lazily so a long-lived connection doesn't accrete every
+    // byte it ever received.
+    if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(bytes);
+}
+
+FrameReader::Status FrameReader::next(Frame& out) {
+    if (failed_) return Status::Error;
+    if (buf_.size() - pos_ < 4) return Status::NeedMore;
+    const unsigned char* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+    std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                        (static_cast<std::uint32_t>(p[1]) << 8) |
+                        (static_cast<std::uint32_t>(p[2]) << 16) |
+                        (static_cast<std::uint32_t>(p[3]) << 24);
+    if (len == 0) {
+        failed_ = true;
+        error_ = "zero-length frame (a frame carries at least its type byte)";
+        return Status::Error;
+    }
+    if (len > max_payload_ + 1) {
+        failed_ = true;
+        error_ = "frame of " + std::to_string(len) + " bytes exceeds the " +
+                 std::to_string(max_payload_) + "-byte payload limit";
+        return Status::Error;
+    }
+    if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len))
+        return Status::NeedMore;
+    char type = buf_[pos_ + 4];
+    switch (type) {
+    case 'H': case 'Q': case 'R': case 'E': case 'D': case 'X': break;
+    default: {
+        failed_ = true;
+        unsigned char u = static_cast<unsigned char>(type);
+        error_ = "unknown frame type 0x";
+        error_ += "0123456789abcdef"[u >> 4];
+        error_ += "0123456789abcdef"[u & 0xf];
+        return Status::Error;
+    }
+    }
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(buf_, pos_ + 5, len - 1);
+    pos_ += 4 + len;
+    return Status::Ready;
+}
+
+// ---- LineReader -------------------------------------------------------------
+
+void LineReader::feed(std::string_view bytes) {
+    if (failed_) return;
+    if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(bytes);
+}
+
+LineReader::Status LineReader::next(std::string& out) {
+    if (failed_) return Status::Error;
+    std::size_t nl = buf_.find('\n', pos_);
+    if (nl == std::string::npos) {
+        if (buf_.size() - pos_ > max_line_) {
+            failed_ = true;
+            error_ = "line exceeds the " + std::to_string(max_line_) + "-byte limit";
+            return Status::Error;
+        }
+        return Status::NeedMore;
+    }
+    std::size_t end = nl;
+    if (end > pos_ && buf_[end - 1] == '\r') --end;
+    if (end - pos_ > max_line_) {
+        failed_ = true;
+        error_ = "line exceeds the " + std::to_string(max_line_) + "-byte limit";
+        return Status::Error;
+    }
+    out.assign(buf_, pos_, end - pos_);
+    pos_ = nl + 1;
+    return Status::Ready;
+}
+
+} // namespace gmdf::net

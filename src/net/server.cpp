@@ -1,0 +1,435 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "proto/message.hpp"
+
+namespace gmdf::net {
+
+namespace {
+
+std::string_view trim_view(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+        s.remove_suffix(1);
+    return s;
+}
+
+bool set_nonblocking(int fd) {
+    int flags = fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+    int one = 1;
+    (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+Server::Server(hub::HubController& hub, ServerConfig config)
+    : hub_(hub), config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+    auto fail = [&](const std::string& what) {
+        if (error != nullptr) *error = what + ": " + std::strerror(errno);
+        if (listen_fd_ >= 0) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+        }
+        return false;
+    };
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return fail("socket");
+    int one = 1;
+    (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+        errno = EINVAL;
+        return fail("inet_pton " + config_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+        return fail("bind " + config_.host + ":" + std::to_string(config_.port));
+    if (::listen(listen_fd_, 1024) != 0) return fail("listen");
+    if (!set_nonblocking(listen_fd_)) return fail("fcntl");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+        return fail("getsockname");
+    port_ = ntohs(addr.sin_port);
+
+    hub_.set_event_sink([this](int session_id, std::string_view session_name,
+                               const std::string& line) {
+        fan_out_event(session_id, session_name, line);
+    });
+    hub_.set_net_stats_provider([this] { return stats_lines(); });
+    return true;
+}
+
+void Server::stop() {
+    while (!connections_.empty()) close_connection(connections_.size() - 1);
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        hub_.set_event_sink(nullptr);
+        hub_.set_net_stats_provider(nullptr);
+    }
+}
+
+int Server::poll_once(int timeout_ms) {
+    if (listen_fd_ < 0) return -1;
+
+    std::vector<pollfd> fds;
+    fds.reserve(connections_.size() + 1);
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& conn : connections_) {
+        short events = 0;
+        if (!conn->draining) events |= POLLIN;
+        if (conn->out_pos < conn->outbuf.size()) events |= POLLOUT;
+        fds.push_back({conn->fd, events, 0});
+    }
+
+    int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready <= 0) return ready;
+
+    if ((fds[0].revents & POLLIN) != 0) accept_pending();
+
+    // Connections may be appended by accept_pending(); only the first
+    // fds.size()-1 existed when poll() sampled, and indices line up
+    // because closes are deferred to the sweep below.
+    std::vector<std::size_t> dead;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+        Connection& conn = *connections_[i - 1];
+        short re = fds[i].revents;
+        if (re == 0) continue;
+        if ((re & (POLLERR | POLLNVAL)) != 0) {
+            dead.push_back(i - 1);
+            continue;
+        }
+        if ((re & POLLIN) != 0 && !read_connection(conn)) {
+            dead.push_back(i - 1);
+            continue;
+        }
+        if ((re & POLLHUP) != 0 && conn.out_pos >= conn.outbuf.size()) {
+            dead.push_back(i - 1);
+            continue;
+        }
+    }
+
+    // Resume paused fan-out where the pipe has drained, then push
+    // whatever is writable without waiting for the next POLLOUT.
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+        Connection& conn = *connections_[i];
+        if (conn.fd < 0) continue;
+        flush_pending_events(conn);
+        if (conn.out_pos < conn.outbuf.size() && !write_connection(conn))
+            dead.push_back(i);
+        else if (conn.draining && conn.out_pos >= conn.outbuf.size())
+            dead.push_back(i);
+    }
+
+    // Close in descending index order so earlier indices stay valid.
+    std::sort(dead.begin(), dead.end());
+    dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+    for (std::size_t k = dead.size(); k-- > 0;) close_connection(dead[k]);
+    return ready;
+}
+
+void Server::run(const std::atomic<bool>& stop_flag, int timeout_ms) {
+    while (!stop_flag.load(std::memory_order_relaxed)) poll_once(timeout_ms);
+}
+
+void Server::accept_pending() {
+    while (true) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+            return; // transient (ECONNABORTED, EMFILE, ...): retry next cycle
+        }
+        if (static_cast<int>(connections_.size()) >= config_.max_connections) {
+            ++stats_.refused;
+            ::close(fd);
+            continue;
+        }
+        if (!set_nonblocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        set_nodelay(fd);
+        auto conn =
+            std::make_unique<Connection>(config_.max_frame_payload, config_.max_line);
+        conn->fd = fd;
+        conn->id = next_conn_id_++;
+        // A fresh client starts on the same session the hub's own REPL
+        // would: the seed (root) current.
+        conn->ctx.current = hub_.root_context().current;
+        connections_.push_back(std::move(conn));
+        ++stats_.accepted;
+    }
+}
+
+bool Server::read_connection(Connection& conn) {
+    char chunk[16384];
+    while (true) {
+        ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            conn.bytes_in += static_cast<std::uint64_t>(n);
+            stats_.bytes_in += static_cast<std::uint64_t>(n);
+            switch (conn.mode) {
+            case Connection::Mode::Detect:
+                conn.detect_buf.append(chunk, static_cast<std::size_t>(n));
+                if (conn.detect_buf.size() >= kMagic.size()) {
+                    if (std::string_view(conn.detect_buf).starts_with(kMagic)) {
+                        conn.mode = Connection::Mode::Frame;
+                        conn.frames.feed(
+                            std::string_view(conn.detect_buf).substr(kMagic.size()));
+                    } else {
+                        conn.mode = Connection::Mode::Line;
+                        conn.lines.feed(conn.detect_buf);
+                    }
+                    conn.detect_buf.clear();
+                } else if (!kMagic.starts_with(conn.detect_buf)) {
+                    conn.mode = Connection::Mode::Line;
+                    conn.lines.feed(conn.detect_buf);
+                    conn.detect_buf.clear();
+                }
+                break;
+            case Connection::Mode::Frame:
+                conn.frames.feed({chunk, static_cast<std::size_t>(n)});
+                break;
+            case Connection::Mode::Line:
+                conn.lines.feed({chunk, static_cast<std::size_t>(n)});
+                break;
+            }
+            if (!process_input(conn)) return true; // draining: flush, then close
+            continue;
+        }
+        if (n == 0) return false; // peer closed: release and tear down
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;
+    }
+}
+
+bool Server::process_input(Connection& conn) {
+    if (conn.mode == Connection::Mode::Frame) {
+        Frame frame;
+        while (true) {
+            FrameReader::Status st = conn.frames.next(frame);
+            if (st == FrameReader::Status::NeedMore) return true;
+            if (st == FrameReader::Status::Error) {
+                protocol_error(conn, conn.frames.error());
+                return false;
+            }
+            if (!conn.hello_done) {
+                int version = frame.type == FrameType::Hello
+                                  ? parse_hello(frame.payload)
+                                  : -1;
+                if (version < 0) {
+                    protocol_error(conn, "expected hello '" + hello_payload() +
+                                             "' as the first frame");
+                    return false;
+                }
+                if (version != kProtocolVersion) {
+                    protocol_error(conn, "protocol version " +
+                                             std::to_string(version) +
+                                             " unsupported (server speaks " +
+                                             std::to_string(kProtocolVersion) + ")");
+                    return false;
+                }
+                conn.hello_done = true;
+                queue_bytes(conn, encode_frame(FrameType::Hello, hello_payload()));
+                continue;
+            }
+            if (frame.type != FrameType::Request) {
+                protocol_error(conn, "clients send only request frames after the "
+                                     "hello");
+                return false;
+            }
+            if (!handle_request(conn, frame.payload)) return false;
+        }
+    }
+
+    std::string line;
+    while (true) {
+        LineReader::Status st = conn.lines.next(line);
+        if (st == LineReader::Status::NeedMore) return true;
+        if (st == LineReader::Status::Error) {
+            protocol_error(conn, conn.lines.error());
+            return false;
+        }
+        // Interactive line clients get script-style blank/comment
+        // tolerance instead of "empty request" errors.
+        std::string_view trimmed = trim_view(line);
+        if (trimmed.empty() || trimmed.front() == '#') continue;
+        if (!handle_request(conn, trimmed)) return false;
+    }
+}
+
+bool Server::handle_request(Connection& conn, std::string_view line) {
+    ++conn.requests;
+    ++stats_.requests;
+    std::string_view trimmed = trim_view(line);
+    bool is_quit = trimmed == "quit" || trimmed == "exit";
+    proto::Response resp = hub_.execute_line(trimmed, conn.ctx);
+    send_response(conn, proto::format_response(resp));
+    // Events raised while the request ran (breakpoints during `run`,
+    // state changes, ...) belong to this request's transcript slot:
+    // deliver them ahead of the done marker regardless of high water —
+    // the pending queue's capacity already bounded them.
+    flush_pending_events(conn, /*force=*/true);
+    if (conn.mode == Connection::Mode::Frame)
+        queue_bytes(conn, encode_frame(FrameType::Done, {}));
+    if (is_quit) {
+        conn.draining = true;
+        return false;
+    }
+    return true;
+}
+
+void Server::send_response(Connection& conn, const std::string& formatted) {
+    if (conn.mode == Connection::Mode::Frame)
+        queue_bytes(conn, encode_frame(FrameType::Response, formatted));
+    else
+        queue_bytes(conn, formatted);
+}
+
+void Server::fan_out_event(int session_id, std::string_view session_name,
+                           const std::string& line) {
+    for (auto& conn : connections_) {
+        if (conn->fd < 0 || conn->draining) continue;
+        if (!conn->ctx.allows(session_id, session_name)) continue;
+        if (config_.event_queue_capacity != 0 &&
+            conn->pending_events.size() >= config_.event_queue_capacity) {
+            conn->pending_events.pop_front();
+            ++conn->events_dropped;
+            ++stats_.events_dropped;
+        }
+        conn->pending_events.push_back(line);
+    }
+}
+
+void Server::flush_pending_events(Connection& conn, bool force) {
+    if (conn.draining) return;
+    while (!conn.pending_events.empty()) {
+        // Backpressure: a slow client keeps its events parked (bounded,
+        // drop-counted) instead of growing an unbounded write buffer.
+        if (!force && conn.outbuf.size() - conn.out_pos >= config_.write_high_water)
+            return;
+        std::string& line = conn.pending_events.front();
+        if (conn.mode == Connection::Mode::Frame)
+            queue_bytes(conn, encode_frame(FrameType::Event, line));
+        else
+            queue_bytes(conn, line);
+        ++stats_.events_sent;
+        conn.pending_events.pop_front();
+    }
+}
+
+void Server::queue_bytes(Connection& conn, std::string_view bytes) {
+    // Compact the consumed prefix before growing the buffer again.
+    if (conn.out_pos > 0) {
+        conn.outbuf.erase(0, conn.out_pos);
+        conn.out_pos = 0;
+    }
+    conn.outbuf.append(bytes);
+}
+
+bool Server::write_connection(Connection& conn) {
+    while (conn.out_pos < conn.outbuf.size()) {
+        ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.out_pos,
+                           conn.outbuf.size() - conn.out_pos, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.out_pos += static_cast<std::size_t>(n);
+            conn.bytes_out += static_cast<std::uint64_t>(n);
+            stats_.bytes_out += static_cast<std::uint64_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+        if (n < 0 && errno == EINTR) continue;
+        return false; // broken pipe etc.
+    }
+    if (conn.out_pos >= conn.outbuf.size()) {
+        conn.outbuf.clear();
+        conn.out_pos = 0;
+    }
+    return true;
+}
+
+void Server::protocol_error(Connection& conn, const std::string& message) {
+    ++stats_.protocol_errors;
+    if (conn.mode == Connection::Mode::Frame)
+        queue_bytes(conn, encode_frame(FrameType::Error, message));
+    else
+        queue_bytes(conn, proto::format_response(proto::Response::make_error(
+                              proto::ErrorCode::BadRequest, message)));
+    conn.draining = true; // flush the diagnosis, then close
+}
+
+void Server::close_connection(std::size_t index) {
+    Connection& conn = *connections_[index];
+    if (conn.fd >= 0) {
+        // One last best-effort flush so `quit` responses reach the
+        // client even when the close happens outside the write path.
+        (void)write_connection(conn);
+        ::close(conn.fd);
+        conn.fd = -1;
+    }
+    hub_.release_context(conn.ctx);
+    ++stats_.closed;
+    connections_.erase(connections_.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+}
+
+std::vector<std::string> Server::stats_lines() const {
+    std::vector<std::string> body = {
+        "net-listening " + config_.host + ":" + std::to_string(port_),
+        "net-connections active " + std::to_string(connections_.size()) +
+            " (accepted " + std::to_string(stats_.accepted) + ", closed " +
+            std::to_string(stats_.closed) + ", refused " +
+            std::to_string(stats_.refused) + ")",
+        "net-requests " + std::to_string(stats_.requests),
+        "net-bytes in " + std::to_string(stats_.bytes_in) + " out " +
+            std::to_string(stats_.bytes_out),
+        "net-events sent " + std::to_string(stats_.events_sent) + " dropped " +
+            std::to_string(stats_.events_dropped),
+        "net-protocol-errors " + std::to_string(stats_.protocol_errors),
+    };
+    for (const auto& conn : connections_) {
+        const char* codec = conn->mode == Connection::Mode::Frame  ? "frame"
+                            : conn->mode == Connection::Mode::Line ? "line"
+                                                                   : "detect";
+        const hub::SessionRegistry* reg = &hub_.registry();
+        std::string session = "-";
+        for (const auto& e : reg->entries())
+            if (e->id == conn->ctx.current) session = e->name;
+        body.push_back("connection " + std::to_string(conn->id) + " codec=" + codec +
+                       " session=" + session + " acl=" +
+                       (conn->ctx.restricted ? "restricted" : "open") +
+                       " requests=" + std::to_string(conn->requests) + " bytes-in=" +
+                       std::to_string(conn->bytes_in) + " bytes-out=" +
+                       std::to_string(conn->bytes_out) + " pending-events=" +
+                       std::to_string(conn->pending_events.size()) +
+                       " events-dropped=" + std::to_string(conn->events_dropped));
+    }
+    return body;
+}
+
+} // namespace gmdf::net

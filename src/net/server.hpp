@@ -1,0 +1,152 @@
+// net::Server — the hub behind a real TCP listener.
+//
+// A single-threaded, non-blocking poll(2) event loop accepts N
+// concurrent client connections and serves each one the same
+// line-oriented protocol the in-process drivers speak, through a
+// hub::HubController. Each connection owns:
+//
+//   - read/write buffers, fed in arbitrary slices across poll wakeups
+//     (torn lines and torn frames reassemble; malformed or oversized
+//     input gets a structured error and a close, never a crash),
+//   - a codec: the '\n' line codec for netcat-style clients, or the
+//     length-prefixed frame codec (codec.hpp) negotiated by the "GMDF"
+//     magic + versioned hello,
+//   - a hub::RouteContext — its own current session, @<session> ACL
+//     allowlist (the attach/acl verbs), and the list of sessions it
+//     opened,
+//   - a bounded pending-event queue with write-side backpressure: when
+//     a slow client's write buffer is above the high-water mark, event
+//     fan-out to it pauses; when the pending queue overflows, the
+//     oldest events drop and are counted per connection.
+//
+// Disconnect and `quit` drain gracefully: queued responses flush before
+// the close, and the hub releases only the sessions this client opened
+// — a client can never tear down sessions it didn't open.
+//
+// The loop is deliberately single-threaded (connection handling is
+// commingled with hub state, which is not locked); run() can live on a
+// dedicated thread as long as nothing else touches the hub meanwhile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hub/controller.hpp"
+#include "net/codec.hpp"
+
+namespace gmdf::net {
+
+struct ServerConfig {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0; ///< 0: ephemeral (read the bound one from port())
+    int max_connections = 10000;
+    std::size_t max_frame_payload = 1 << 20;
+    std::size_t max_line = 16 * 1024;
+    /// Event fan-out to a connection pauses while its write buffer holds
+    /// at least this many bytes (responses still queue — they are
+    /// bounded by one per request).
+    std::size_t write_high_water = 256 * 1024;
+    /// Events parked per connection while fan-out is paused; beyond it
+    /// the oldest drop, counted in the connection's events_dropped.
+    std::size_t event_queue_capacity = 4096;
+};
+
+/// Server-wide counters (per-connection ones live on the connection and
+/// roll up into events_dropped/bytes when it closes).
+struct NetStats {
+    std::uint64_t accepted = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t refused = 0;         ///< accepted over max_connections
+    std::uint64_t protocol_errors = 0; ///< malformed input, bad hello
+    std::uint64_t requests = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t events_sent = 0;
+    std::uint64_t events_dropped = 0; ///< backpressure drops, all connections
+};
+
+class Server {
+public:
+    explicit Server(hub::HubController& hub, ServerConfig config = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Binds and listens; installs the hub event sink and net-stats
+    /// provider. False (with the reason in *error) on socket failure.
+    bool start(std::string* error = nullptr);
+
+    /// Closes the listener and every connection (releasing their hub
+    /// contexts); the hub's sink/provider hooks are uninstalled.
+    void stop();
+
+    /// The bound port (after start()).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// One poll(2) cycle: accept, read, execute, write. Returns the
+    /// number of fds with activity; blocks at most timeout_ms.
+    int poll_once(int timeout_ms);
+
+    /// Loops poll_once until `stop_flag` goes true.
+    void run(const std::atomic<bool>& stop_flag, int timeout_ms = 20);
+
+    [[nodiscard]] std::size_t active_connections() const { return connections_.size(); }
+    [[nodiscard]] const NetStats& stats() const { return stats_; }
+
+    /// The `session stats net` body: server totals plus one row per live
+    /// connection.
+    [[nodiscard]] std::vector<std::string> stats_lines() const;
+
+private:
+    struct Connection {
+        int fd = -1;
+        int id = 0;
+        enum class Mode { Detect, Frame, Line } mode = Mode::Detect;
+        bool hello_done = false;
+        std::string detect_buf; ///< bytes held until the codec is known
+        FrameReader frames;
+        LineReader lines;
+        std::string outbuf;
+        std::size_t out_pos = 0;
+        std::deque<std::string> pending_events; ///< formatted lines awaiting flush
+        hub::RouteContext ctx;
+        bool draining = false; ///< close once outbuf flushes
+        std::uint64_t bytes_in = 0;
+        std::uint64_t bytes_out = 0;
+        std::uint64_t requests = 0;
+        std::uint64_t events_dropped = 0;
+
+        Connection(std::size_t max_frame_payload, std::size_t max_line)
+            : frames(max_frame_payload), lines(max_line) {}
+    };
+
+    void accept_pending();
+    bool read_connection(Connection& conn); ///< false: close it now
+    bool process_input(Connection& conn);
+    bool handle_request(Connection& conn, std::string_view line);
+    void send_response(Connection& conn, const std::string& formatted);
+    void fan_out_event(int session_id, std::string_view session_name,
+                       const std::string& line);
+    /// force: ignore the write high-water mark (request-scoped events
+    /// must land between their response and the done marker).
+    void flush_pending_events(Connection& conn, bool force = false);
+    void queue_bytes(Connection& conn, std::string_view bytes);
+    bool write_connection(Connection& conn); ///< false: close it now
+    void protocol_error(Connection& conn, const std::string& message);
+    void close_connection(std::size_t index);
+
+    hub::HubController& hub_;
+    ServerConfig config_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    int next_conn_id_ = 1;
+    std::vector<std::unique_ptr<Connection>> connections_;
+    NetStats stats_;
+};
+
+} // namespace gmdf::net

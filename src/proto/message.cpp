@@ -18,6 +18,14 @@ const char* to_string(ErrorCode code) {
     return "?";
 }
 
+std::optional<ErrorCode> error_code_from_string(std::string_view text) {
+    for (ErrorCode code : {ErrorCode::None, ErrorCode::BadRequest, ErrorCode::UnknownVerb,
+                           ErrorCode::BadArgument, ErrorCode::NotFound,
+                           ErrorCode::BadState, ErrorCode::Internal})
+        if (text == to_string(code)) return code;
+    return std::nullopt;
+}
+
 const char* to_string(Event::Kind kind) {
     switch (kind) {
     case Event::Kind::BreakpointHit: return "breakpoint-hit";
@@ -40,6 +48,10 @@ bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
 } // namespace
 
 ParseResult parse_request(std::string_view line) {
+    if (line.size() > kMaxRequestLine)
+        return parse_error("request line of " + std::to_string(line.size()) +
+                           " bytes exceeds the " + std::to_string(kMaxRequestLine) +
+                           "-byte limit");
     std::vector<std::string> tokens;
     std::size_t i = 0;
     while (i < line.size()) {
@@ -144,6 +156,38 @@ std::string format_response(const Response& resp) {
         out.push_back('\n');
     }
     return out;
+}
+
+std::optional<Response> parse_response(std::string_view text) {
+    // format_response always newline-terminates its last line.
+    if (text.empty() || text.back() != '\n') return std::nullopt;
+    text.remove_suffix(1);
+    std::vector<std::string_view> lines;
+    while (true) {
+        std::size_t nl = text.find('\n');
+        if (nl == std::string_view::npos) {
+            lines.push_back(text);
+            break;
+        }
+        lines.push_back(text.substr(0, nl));
+        text.remove_prefix(nl + 1);
+    }
+    if (lines.empty()) return std::nullopt;
+    if (lines.front() == "ok") {
+        Response r;
+        for (std::size_t i = 1; i < lines.size(); ++i) {
+            if (!lines[i].starts_with("| ")) return std::nullopt;
+            r.body.emplace_back(lines[i].substr(2));
+        }
+        return r;
+    }
+    if (lines.size() != 1 || !lines.front().starts_with("error ")) return std::nullopt;
+    std::string_view rest = lines.front().substr(6);
+    std::size_t sep = rest.find(": ");
+    if (sep == std::string_view::npos) return std::nullopt;
+    auto code = error_code_from_string(rest.substr(0, sep));
+    if (!code.has_value() || *code == ErrorCode::None) return std::nullopt;
+    return Response::make_error(*code, std::string(rest.substr(sep + 2)));
 }
 
 std::string format_event(const Event& ev) {

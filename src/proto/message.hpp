@@ -48,6 +48,9 @@ enum class ErrorCode {
 
 [[nodiscard]] const char* to_string(ErrorCode code);
 
+/// Inverse of to_string(ErrorCode); nullopt for unknown spellings.
+[[nodiscard]] std::optional<ErrorCode> error_code_from_string(std::string_view text);
+
 /// One reply. Ok responses carry zero or more body lines; error
 /// responses carry a code and a one-line message.
 struct Response {
@@ -92,9 +95,15 @@ struct ParseResult {
     [[nodiscard]] bool ok() const { return request.has_value(); }
 };
 
+/// Hard ceiling on one request line. Network clients control the bytes
+/// they send; without a bound a hostile or broken peer could grow a
+/// "line" without limit before the parser ever sees a newline.
+inline constexpr std::size_t kMaxRequestLine = 16 * 1024;
+
 /// Parses one request line. Tokens are whitespace-separated; a token may
 /// be double-quoted to carry spaces, with \" \\ \n \t escapes. Errors
-/// (empty line, unterminated quote, bad escape) come back structured.
+/// (empty line, oversized line, unterminated quote, bad escape) come
+/// back structured.
 [[nodiscard]] ParseResult parse_request(std::string_view line);
 
 /// Formats a request so that parse_request(format_request(r)) == r.
@@ -102,6 +111,13 @@ struct ParseResult {
 
 /// Formats a response (multi-line, newline-terminated).
 [[nodiscard]] std::string format_response(const Response& resp);
+
+/// Parses text produced by format_response back into a Response — the
+/// network client's half of the codec seam, so a remote ScriptClient
+/// returns the same typed Response an in-process controller would.
+/// Round-trips: parse_response(format_response(r)) reformats to the
+/// same bytes. nullopt for text format_response cannot have produced.
+[[nodiscard]] std::optional<Response> parse_response(std::string_view text);
 
 /// Formats one event line (newline-terminated).
 [[nodiscard]] std::string format_event(const Event& ev);

@@ -7,34 +7,63 @@
 // (`session open <scenario> [name]`) and addressed per request
 // (`@<session> <verb ...>`); with a single session every transcript is
 // byte-identical to the pre-hub driver. Script mode echoes every
-// command into the transcript, so a run is a byte-stable text fixture:
+// command into the transcript, so a run is a byte-stable text fixture.
+//
+// With --connect the same driver becomes a network client: requests go
+// to a gmdf_serve instance over the frame codec (net::Channel) through
+// the identical proto::ScriptClient seam, so scripts and transcripts
+// are byte-for-byte the same in-process and over TCP.
 //
 //   ./gmdf_dbg                                  # REPL on the blinker
 //   ./gmdf_dbg --model turntable                # REPL on the turntable
 //   ./gmdf_dbg --script examples/quickstart.gds # scripted scenario
 //   ./gmdf_dbg --script examples/fleet.gds      # two targets, one hub
+//   ./gmdf_dbg --connect 127.0.0.1:7421 --script examples/quickstart.gds
 //
 // Exit status: 0 when every request succeeded, 1 on any error response,
-// 2 on bad usage.
+// 2 on bad usage or connect failure.
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "hub/controller.hpp"
+#include "net/client.hpp"
 #include "proto/scenarios.hpp"
 #include "proto/script.hpp"
 
 namespace {
 
 int usage(std::ostream& out, int code) {
-    out << "usage: gmdf_dbg [--model <name>] [--script <file>]\n\n"
+    out << "usage: gmdf_dbg [--model <name>] [--script <file>] "
+           "[--connect <host:port>]\n\n"
         << "Drives a GMDF debug hub over the text protocol.\n"
-        << "  --model <name>   built-in scenario of the initial session:";
+        << "  --model <name>        built-in scenario of the initial session:";
     for (const std::string& name : gmdf::proto::scenario_names()) out << " " << name;
     out << " (default blinker)\n"
-        << "  --script <file>  run the script instead of an interactive REPL\n"
-        << "  --help           this text\n";
+        << "  --script <file>       run the script instead of an interactive REPL\n"
+        << "  --connect <host:port> drive a gmdf_serve hub instead of an "
+           "in-process one\n"
+        << "  --help                this text\n";
     return code;
+}
+
+int run(gmdf::proto::ScriptClient& client, const std::string& script_path,
+        const std::string& greeting) {
+    if (!script_path.empty()) {
+        std::ifstream script(script_path);
+        if (!script) {
+            std::cerr << "gmdf_dbg: cannot open script '" << script_path << "'\n";
+            return 2;
+        }
+        auto result = gmdf::proto::run_script(client, script, std::cout,
+                                              {/*echo=*/true, /*prompt=*/""});
+        return result.errors == 0 ? 0 : 1;
+    }
+    std::cout << greeting;
+    auto result = gmdf::proto::run_script(client, std::cin, std::cout,
+                                          {/*echo=*/false, /*prompt=*/"gmdf> "});
+    if (!result.quit) std::cout << "\n";
+    return result.errors == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -42,17 +71,46 @@ int usage(std::ostream& out, int code) {
 int main(int argc, char** argv) {
     std::string model = "blinker";
     std::string script_path;
+    std::string connect_spec;
+    bool model_given = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
         if (arg == "--model" && i + 1 < argc) {
             model = argv[++i];
+            model_given = true;
         } else if (arg == "--script" && i + 1 < argc) {
             script_path = argv[++i];
+        } else if (arg == "--connect" && i + 1 < argc) {
+            connect_spec = argv[++i];
         } else {
             std::cerr << "gmdf_dbg: unknown argument '" << arg << "'\n";
             return usage(std::cerr, 2);
         }
+    }
+
+    if (!connect_spec.empty()) {
+        if (model_given) {
+            std::cerr << "gmdf_dbg: --model picks the *server's* seed scenario; "
+                         "it cannot be combined with --connect\n";
+            return usage(std::cerr, 2);
+        }
+        std::string host;
+        std::uint16_t port = 0;
+        if (!gmdf::net::split_host_port(connect_spec, host, port)) {
+            std::cerr << "gmdf_dbg: bad --connect '" << connect_spec
+                      << "' (expected host:port)\n";
+            return usage(std::cerr, 2);
+        }
+        std::string error;
+        auto channel = gmdf::net::Channel::connect(host, port, &error);
+        if (channel == nullptr) {
+            std::cerr << "gmdf_dbg: " << error << "\n";
+            return 2;
+        }
+        return run(*channel, script_path,
+                   "gmdf_dbg: connected to " + connect_spec +
+                       " ('help' lists verbs)\n");
     }
 
     gmdf::hub::HubController hub;
@@ -61,23 +119,8 @@ int main(int argc, char** argv) {
         std::cerr << "gmdf_dbg: no scenario '" << model << "'\n";
         return usage(std::cerr, 2);
     }
-
-    if (!script_path.empty()) {
-        std::ifstream script(script_path);
-        if (!script) {
-            std::cerr << "gmdf_dbg: cannot open script '" << script_path << "'\n";
-            return 2;
-        }
-        auto result = gmdf::proto::run_script(hub, script, std::cout,
-                                              {/*echo=*/true, /*prompt=*/""});
-        return result.errors == 0 ? 0 : 1;
-    }
-
-    std::cout << "gmdf_dbg: scenario '" << seed->name
-              << "' hosted as session 1 over the active command interface "
-                 "('help' lists verbs)\n";
-    auto result = gmdf::proto::run_script(hub, std::cin, std::cout,
-                                          {/*echo=*/false, /*prompt=*/"gmdf> "});
-    if (!result.quit) std::cout << "\n";
-    return result.errors == 0 ? 0 : 1;
+    return run(hub, script_path,
+               "gmdf_dbg: scenario '" + seed->name +
+                   "' hosted as session 1 over the active command interface "
+                   "('help' lists verbs)\n");
 }

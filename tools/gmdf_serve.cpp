@@ -1,0 +1,99 @@
+// gmdf_serve — the GMDF debug hub behind a TCP listener.
+//
+// Hosts the same hub gmdf_dbg drives over stdin, but serves it to N
+// concurrent network clients through net::Server: gmdf_dbg --connect
+// host:port (frame codec, byte-identical transcripts) or plain
+// netcat/telnet (line codec). Clients share one fleet: they can open
+// their own sessions, attach to existing ones, and scope themselves
+// with the acl verb; `session stats net` reports server and
+// per-connection counters.
+//
+//   ./gmdf_serve                         # blinker on an ephemeral port
+//   ./gmdf_serve --model turntable --port 7421
+//   ./gmdf_dbg --connect 127.0.0.1:7421 --script examples/quickstart.gds
+//
+// Prints "listening <host>:<port>" once the socket is bound (scripts
+// wait for that line, then parse the port). SIGINT/SIGTERM drain and
+// exit 0.
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "hub/controller.hpp"
+#include "net/server.hpp"
+#include "proto/scenarios.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage(std::ostream& out, int code) {
+    out << "usage: gmdf_serve [--model <name>] [--host <addr>] [--port <n>] "
+           "[--max-conn <n>]\n\n"
+        << "Serves a GMDF debug hub over TCP (frame or line codec).\n"
+        << "  --model <name>    built-in scenario of the seed session:";
+    for (const std::string& name : gmdf::proto::scenario_names()) out << " " << name;
+    out << " (default blinker)\n"
+        << "  --host <addr>     bind address (default 127.0.0.1)\n"
+        << "  --port <n>        TCP port; 0 picks an ephemeral one (default 0)\n"
+        << "  --max-conn <n>    concurrent connection cap (default 10000)\n"
+        << "  --help            this text\n";
+    return code;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string model = "blinker";
+    gmdf::net::ServerConfig config;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+        if (arg == "--model" && i + 1 < argc) {
+            model = argv[++i];
+        } else if (arg == "--host" && i + 1 < argc) {
+            config.host = argv[++i];
+        } else if (arg == "--port" && i + 1 < argc) {
+            config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+        } else if (arg == "--max-conn" && i + 1 < argc) {
+            config.max_connections = std::atoi(argv[++i]);
+        } else {
+            std::cerr << "gmdf_serve: unknown argument '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        }
+    }
+
+    gmdf::hub::HubController hub;
+    auto* seed = hub.open(model, model);
+    if (seed == nullptr) {
+        std::cerr << "gmdf_serve: no scenario '" << model << "'\n";
+        return usage(std::cerr, 2);
+    }
+
+    gmdf::net::Server server(hub, config);
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "gmdf_serve: " << error << "\n";
+        return 1;
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::cout << "listening " << config.host << ":" << server.port()
+              << " (scenario '" << seed->name << "' hosted as session "
+              << seed->id << ")" << std::endl;
+
+    server.run(g_stop);
+
+    const auto& stats = server.stats();
+    std::cout << "gmdf_serve: drained (" << stats.accepted << " connections, "
+              << stats.requests << " requests, " << stats.bytes_in << " bytes in, "
+              << stats.bytes_out << " bytes out)\n";
+    server.stop();
+    return 0;
+}

@@ -1,0 +1,151 @@
+// P6 — campaign throughput: what a seeded scenario corpus costs to
+// manufacture (models generated per second, by spec size), and what a
+// full fault-hunt campaign costs end-to-end (pairs per second, with the
+// localization split) at the CI scale of ~200 pairs. Writes
+// BENCH_p6_campaign.json (CI smoke step).
+//
+// The campaign rate is the headline: every pair is two full sessions
+// (clean + faulted twin) run as a fleet wave, plus a bisect or a
+// twin-trace diff per localized pair — so pairs/s bounds how big a
+// nightly corpus sweep can get.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/generator.hpp"
+#include "campaign/runner.hpp"
+#include "comdes/build.hpp"
+
+using namespace gmdf;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double us_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+struct GenRate {
+    std::string name;
+    int actors = 0;
+    int max_states = 0;
+    double gen_us = 0;       ///< one generate_system() into a fresh builder
+    double models_per_s = 0;
+};
+
+GenRate bench_generate(const char* name, int actors, int max_states) {
+    campaign::GenSpec spec;
+    spec.actors = actors;
+    spec.max_states = max_states;
+    constexpr int kIters = 200;
+
+    auto t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+        comdes::SystemBuilder sys("gen_system");
+        campaign::generate_system(sys, spec, static_cast<std::uint32_t>(i + 1));
+    }
+    double gen_us = us_since(t0) / kIters;
+    return {name, actors, max_states, gen_us, 1e6 / gen_us};
+}
+
+struct CampaignRate {
+    std::string name;
+    int pairs = 0;
+    int wave = 0;
+    double total_ms = 0;
+    double pair_ms = 0;
+    double pairs_per_s = 0;
+    int localized = 0;
+    int bisect = 0;
+    int differential = 0;
+    int clean = 0;
+    int skipped = 0;
+};
+
+CampaignRate bench_campaign(const char* name, int pairs, int wave) {
+    campaign::CampaignConfig cfg;
+    cfg.pairs = pairs;
+    cfg.seed = 1;
+    cfg.wave = wave;
+
+    auto t0 = Clock::now();
+    auto report = campaign::run_campaign(cfg);
+    double total_ms = us_since(t0) / 1000.0;
+
+    int bisect = 0;
+    int differential = 0;
+    for (const auto& [kind, tally] : report.by_kind) {
+        bisect += tally.bisect;
+        differential += tally.differential;
+    }
+    return {name,
+            pairs,
+            wave,
+            total_ms,
+            total_ms / pairs,
+            pairs / (total_ms / 1000.0),
+            report.localized,
+            bisect,
+            differential,
+            report.clean,
+            report.skipped};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const char* out_path = argc > 1 ? argv[1] : "BENCH_p6_campaign.json";
+
+    std::vector<GenRate> gens;
+    gens.push_back(bench_generate("gen_2a_4s", 2, 4));
+    gens.push_back(bench_generate("gen_4a_6s", 4, 6));
+    gens.push_back(bench_generate("gen_8a_8s", 8, 8));
+
+    std::vector<CampaignRate> campaigns;
+    campaigns.push_back(bench_campaign("campaign_50_wave8", 50, 8));
+    campaigns.push_back(bench_campaign("campaign_200_wave8", 200, 8));
+
+    std::printf("%-24s %8s %10s %12s %12s\n", "generate", "actors", "max states",
+                "gen us", "models/s");
+    for (const auto& g : gens)
+        std::printf("%-24s %8d %10d %12.1f %12.0f\n", g.name.c_str(), g.actors,
+                    g.max_states, g.gen_us, g.models_per_s);
+    std::printf("\n%-24s %8s %10s %10s %10s %28s\n", "campaign", "pairs",
+                "total ms", "pair ms", "pairs/s", "loc(bis/diff)/clean/skip");
+    for (const auto& c : campaigns)
+        std::printf("%-24s %8d %10.1f %10.2f %10.1f %15d(%d/%d)/%d/%d\n",
+                    c.name.c_str(), c.pairs, c.total_ms, c.pair_ms, c.pairs_per_s,
+                    c.localized, c.bisect, c.differential, c.clean, c.skipped);
+
+    FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"p6_campaign\",\n  \"generate\": [\n");
+    for (std::size_t i = 0; i < gens.size(); ++i)
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"actors\": %d, \"max_states\": %d, "
+                     "\"gen_us\": %.1f, \"models_per_s\": %.0f}%s\n",
+                     gens[i].name.c_str(), gens[i].actors, gens[i].max_states,
+                     gens[i].gen_us, gens[i].models_per_s,
+                     i + 1 < gens.size() ? "," : "");
+    std::fprintf(f, "  ],\n  \"campaigns\": [\n");
+    for (std::size_t i = 0; i < campaigns.size(); ++i)
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"pairs\": %d, \"wave\": %d, "
+                     "\"total_ms\": %.1f, \"pair_ms\": %.2f, \"pairs_per_s\": %.1f, "
+                     "\"localized\": %d, \"bisect\": %d, \"differential\": %d, "
+                     "\"clean\": %d, \"skipped\": %d}%s\n",
+                     campaigns[i].name.c_str(), campaigns[i].pairs, campaigns[i].wave,
+                     campaigns[i].total_ms, campaigns[i].pair_ms,
+                     campaigns[i].pairs_per_s, campaigns[i].localized,
+                     campaigns[i].bisect, campaigns[i].differential,
+                     campaigns[i].clean, campaigns[i].skipped,
+                     i + 1 < campaigns.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+    return 0;
+}

@@ -1,0 +1,124 @@
+#include "campaign/generator.hpp"
+
+#include <random>
+#include <string>
+
+namespace gmdf::campaign {
+
+namespace {
+
+/// Uniform pick in [lo, hi] via modulo — unlike
+/// std::uniform_int_distribution this is bit-stable across standard
+/// libraries, which the same-seed-same-bytes guarantee depends on.
+int pick(std::mt19937& rng, int lo, int hi) {
+    return lo + static_cast<int>(rng() % static_cast<std::uint32_t>(hi - lo + 1));
+}
+
+/// One unary basic-FB stage for the chain (name suffix, kind, params).
+struct ChainStage {
+    const char* kind;
+    std::initializer_list<double> params;
+};
+
+} // namespace
+
+GeneratedSystem generate_system(comdes::SystemBuilder& sys, const GenSpec& spec,
+                                std::uint32_t seed) {
+    std::mt19937 rng(seed ^ 0xC0FFEEu);
+    GeneratedSystem out;
+
+    const int actors = spec.actors < 1 ? 1 : spec.actors;
+    const int nodes = spec.nodes < 1 ? 1 : spec.nodes;
+    const int max_states = spec.max_states < 2 ? 2 : spec.max_states;
+    const int max_basics = spec.max_basics < 1 ? 1 : spec.max_basics;
+
+    static constexpr std::int64_t kPeriodsUs[] = {5'000, 10'000, 20'000};
+    static constexpr const char* kGuards[] = {"!e1", "x < 1.5", "e0 > 0.5"};
+
+    // Event-pin signals across all actors, for stimulus targeting.
+    struct EventSignal {
+        meta::ObjectId signal;
+        int node = 0;
+        bool high = false; ///< toggle state so stimuli actually change values
+    };
+    std::vector<EventSignal> event_signals;
+
+    for (int a = 0; a < actors; ++a) {
+        const std::string prefix = "a" + std::to_string(a);
+        const int node = a % nodes;
+        if (node + 1 > out.nodes) out.nodes = node + 1;
+
+        auto go = sys.add_signal(prefix + "_go", "bool_");
+        auto alt = sys.add_signal(prefix + "_alt", "bool_");
+        auto cmd = sys.add_signal(prefix + "_cmd");
+        auto mon = sys.add_signal(prefix + "_mon");
+        event_signals.push_back({go, node, false});
+        event_signals.push_back({alt, node, false});
+
+        auto actor = sys.add_actor(prefix, kPeriodsUs[pick(rng, 0, 2)], 0, node);
+        auto sm = actor.add_sm(prefix + "_sm", {"e0", "e1", "x"}, {"cmd"});
+
+        // State ring: s0 -> s1 -> ... -> s0, every state reachable.
+        const int states = pick(rng, 2, max_states);
+        std::vector<meta::ObjectId> sids;
+        for (int s = 0; s < states; ++s)
+            sids.push_back(
+                sm.add_state("s" + std::to_string(s), {{"cmd", std::to_string(s)}}));
+        for (int s = 0; s < states; ++s) {
+            std::string event = pick(rng, 0, 1) == 0 ? "e0" : "e1";
+            std::string guard;
+            if (spec.guards && pick(rng, 0, 2) == 0) guard = kGuards[pick(rng, 0, 2)];
+            sm.add_transition(sids[s], sids[(s + 1) % states], event, guard);
+        }
+        // A chord on larger machines: a second way through the ring.
+        if (states >= 3) {
+            int from = pick(rng, 0, states - 1);
+            int to = pick(rng, 0, states - 1);
+            if (to == from) to = (to + 1) % states;
+            sm.add_transition(sids[from], sids[to], "e1",
+                              spec.guards ? "e0 > 0.5" : "", {}, 1);
+        }
+
+        // Basic chain: nonzero const_ root, unary stages, tail wired into
+        // the SM's data pin. Real connections throughout.
+        static constexpr ChainStage kStages[] = {
+            {"gain_", {2.0}},      {"offset_", {0.25}}, {"limit_", {-4.0, 4.0}},
+            {"abs_", {}},          {"lowpass_", {0.05}}, {"ratelimit_", {8.0}},
+            {"deadband_", {0.125}},
+        };
+        static constexpr double kConsts[] = {0.5, 1.0, 2.0};
+        const int basics = pick(rng, 1, max_basics);
+        meta::ObjectId prev =
+            actor.add_basic(prefix + "_b0", "const_", {kConsts[pick(rng, 0, 2)]});
+        meta::ObjectId tail = prev;
+        for (int b = 1; b < basics; ++b) {
+            const ChainStage& stage = kStages[pick(rng, 0, 6)];
+            meta::ObjectId fb = actor.add_basic(prefix + "_b" + std::to_string(b),
+                                                stage.kind, stage.params);
+            actor.connect(prev, "out", fb, "in");
+            prev = fb;
+            tail = fb;
+        }
+        actor.connect(tail, "out", sm.sm_id(), "x");
+
+        actor.bind_input(go, sm.sm_id(), "e0");
+        actor.bind_input(alt, sm.sm_id(), "e1");
+        actor.bind_output(sm.sm_id(), "cmd", cmd);
+        actor.bind_output(tail, "out", mon);
+    }
+
+    // Environment stimuli: toggle event signals inside the window.
+    const std::int64_t window_ms =
+        spec.stimulus_window_ms < 10 ? 10 : spec.stimulus_window_ms;
+    for (int i = 0; i < spec.stimuli; ++i) {
+        EventSignal& target =
+            event_signals[pick(rng, 0, static_cast<int>(event_signals.size()) - 1)];
+        target.high = !target.high;
+        out.stimuli.push_back({target.signal, target.high ? 1.0 : 0.0,
+                               pick(rng, 10, static_cast<int>(window_ms)) * rt::kMs,
+                               target.node});
+    }
+    return out;
+}
+
+} // namespace gmdf::campaign

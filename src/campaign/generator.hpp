@@ -1,0 +1,69 @@
+// Seeded random model generator over the COMDES metamodel.
+//
+// The paper exercises the debugger on five hand-written models; campaigns
+// need models by the hundred. generate_system() manufactures them:
+// valid-by-construction FB networks, state machines, and signal mappings
+// drawn deterministically from a seed, so every generated model loads,
+// flattens, and runs clean — and the same seed always reproduces the
+// same model byte-for-byte (meta::write_model equality).
+//
+// Construction recipe (all counts drawn from the GenSpec ranges):
+//   - `actors` actors, actor i on node i % nodes, period from a small set;
+//   - per actor one StateMachineFB: a ring of states (every state
+//     reachable from the initial one), event-triggered ring transitions,
+//     optionally guarded, plus a chord transition on larger machines —
+//     so WrongTransitionTarget / WrongInitialState / NegateGuard always
+//     have a surface to bite;
+//   - per actor a chain of BasicFBs rooted at a nonzero const_ (the
+//     FlipParamSign surface) feeding the SM's data pin through real
+//     connections (the DropConnection surface);
+//   - bool stimulus signals bound to the SM event pins, real monitor
+//     signals latching the SM command output and the chain tail — value
+//     faults stay visible as SIGNAL_UPDATE streams even when no state
+//     sequence changes;
+//   - scheduled environment stimuli toggling the event signals inside
+//     the stimulus window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comdes/build.hpp"
+#include "rt/des.hpp"
+
+namespace gmdf::campaign {
+
+/// Generation parameters. Counts are inclusive upper bounds where a
+/// range is documented; the seed picks within the range.
+struct GenSpec {
+    int actors = 2;        ///< exact actor count (>= 1)
+    int nodes = 1;         ///< target nodes; actor i runs on node i % nodes
+    int max_states = 4;    ///< SM states drawn from [2, max_states]
+    int max_basics = 3;    ///< basic-FB chain length drawn from [1, max_basics]
+    bool guards = true;    ///< guard some transitions (NegateGuard surface)
+    int stimuli = 6;       ///< scheduled environment stimuli
+    std::int64_t stimulus_window_ms = 400; ///< stimuli land in (0, window]
+};
+
+/// One scheduled environment stimulus (model-level; the scenario layer
+/// maps it onto the target's rewind-safe publish path).
+struct GenStimulus {
+    meta::ObjectId signal;
+    double value = 0.0;
+    rt::SimTime at = 0;
+    int node = 0;
+};
+
+/// What generation produced beyond the model itself.
+struct GeneratedSystem {
+    std::vector<GenStimulus> stimuli;
+    int nodes = 1; ///< distinct target nodes actually used
+};
+
+/// Populates `sys` (which must be freshly constructed) with a seeded
+/// random system per `spec`. Deterministic: the same (spec, seed) yields
+/// a byte-identical model and stimulus schedule.
+GeneratedSystem generate_system(comdes::SystemBuilder& sys, const GenSpec& spec,
+                                std::uint32_t seed);
+
+} // namespace gmdf::campaign

@@ -21,6 +21,12 @@ const char* to_string(FaultKind kind) {
     return "?";
 }
 
+std::optional<FaultKind> fault_kind_from_string(std::string_view text) {
+    for (FaultKind kind : all_fault_kinds())
+        if (text == to_string(kind)) return kind;
+    return std::nullopt;
+}
+
 std::vector<FaultKind> all_fault_kinds() {
     return {FaultKind::WrongTransitionTarget, FaultKind::WrongInitialState,
             FaultKind::DropConnection, FaultKind::NegateGuard, FaultKind::FlipParamSign};

@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "meta/model.hpp"
@@ -25,6 +26,11 @@ enum class FaultKind {
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Inverse of to_string(FaultKind); nullopt for unknown spellings.
+/// Lets fault kinds travel through scenario names ("lift_fault:<kind>",
+/// "gen:<seed>:<kind>") and campaign scripts.
+[[nodiscard]] std::optional<FaultKind> fault_kind_from_string(std::string_view text);
 
 /// All kinds, for sweeps.
 [[nodiscard]] std::vector<FaultKind> all_fault_kinds();

@@ -4,6 +4,7 @@
 #include <iterator>
 #include <string>
 
+#include "campaign/runner.hpp"
 #include "core/session.hpp"
 #include "proto/controller.hpp"
 #include "proto/message.hpp"
@@ -53,7 +54,13 @@ HubController::HubController() {
     hub_dispatcher_.add({"acl", "acl clear|show",
                          "lift this client's restriction / show its allowlist",
                          nullptr});
+    hub_dispatcher_.add({"campaign", "campaign run <pairs> [seed]",
+                         "fault-hunt campaign over generated models", nullptr});
+    hub_dispatcher_.add({"campaign", "campaign report",
+                         "re-print the last campaign's summary", nullptr});
 }
+
+HubController::~HubController() = default;
 
 SessionRegistry::Entry* HubController::open(std::string_view scenario, std::string name,
                                             SessionRegistry::OpenError* error) {
@@ -170,7 +177,8 @@ proto::Response HubController::execute_line(std::string_view line, RouteContext&
     if (!addressed) entry = registry_.find(ctx.current);
 
     std::string_view verb = first_token(line);
-    if (verb == "session" || verb == "attach" || verb == "acl") {
+    if (verb == "session" || verb == "attach" || verb == "acl" ||
+        verb == "campaign") {
         // Silently dropping the prefix would make '@cell session close'
         // act on the *current* session — refuse instead.
         if (addressed)
@@ -185,6 +193,7 @@ proto::Response HubController::execute_line(std::string_view line, RouteContext&
         try {
             if (verb == "session") resp = cmd_session(*parsed.request, ctx);
             else if (verb == "attach") resp = cmd_attach(*parsed.request, ctx);
+            else if (verb == "campaign") resp = cmd_campaign(*parsed.request);
             else resp = cmd_acl(*parsed.request, ctx);
         } catch (const std::exception& e) {
             resp = proto::Response::make_error(proto::ErrorCode::Internal,
@@ -203,7 +212,8 @@ proto::Response HubController::execute_line(std::string_view line, RouteContext&
         if (parsed.ok()) {
             const auto& args = parsed.request->args;
             if (args.size() == 1 &&
-                (args[0] == "session" || args[0] == "attach" || args[0] == "acl"))
+                (args[0] == "session" || args[0] == "attach" || args[0] == "acl" ||
+                 args[0] == "campaign"))
                 return hub_ok(hub_dispatcher_.help_lines(args[0]));
             if (args.empty()) {
                 if (entry == nullptr) return hub_ok(hub_dispatcher_.help_lines());
@@ -460,6 +470,51 @@ proto::Response HubController::cmd_acl(const proto::Request& req, RouteContext& 
     }
     return proto::Response::make_error(proto::ErrorCode::BadArgument,
                                        "usage: acl allow|clear|show ...");
+}
+
+proto::Response HubController::cmd_campaign(const proto::Request& req) {
+    if (req.args.size() == 1 && req.args[0] == "report") {
+        if (last_campaign_ == nullptr)
+            return proto::Response::make_error(
+                proto::ErrorCode::BadState,
+                "no campaign has run yet (try 'campaign run <pairs>')");
+        return proto::Response::make_ok(last_campaign_->summary_lines());
+    }
+    if (!req.args.empty() && req.args[0] == "run") {
+        if (req.args.size() < 2 || req.args.size() > 3)
+            return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                               "usage: campaign run <pairs> [seed]");
+        auto parse_u32 = [](const std::string& text) -> std::optional<std::uint32_t> {
+            if (text.empty() || text.size() > 9) return std::nullopt;
+            std::uint32_t v = 0;
+            for (char c : text) {
+                if (c < '0' || c > '9') return std::nullopt;
+                v = v * 10 + static_cast<std::uint32_t>(c - '0');
+            }
+            return v;
+        };
+        auto pairs = parse_u32(req.args[1]);
+        if (!pairs.has_value() || *pairs < 1 || *pairs > 5000)
+            return proto::Response::make_error(
+                proto::ErrorCode::BadArgument,
+                "pairs '" + req.args[1] + "' must be a count in [1, 5000]");
+        campaign::CampaignConfig cfg;
+        cfg.pairs = static_cast<int>(*pairs);
+        if (req.args.size() == 3) {
+            auto seed = parse_u32(req.args[2]);
+            if (!seed.has_value())
+                return proto::Response::make_error(
+                    proto::ErrorCode::BadArgument,
+                    "seed '" + req.args[2] + "' must be a non-negative integer");
+            cfg.seed = *seed;
+        }
+        last_campaign_ =
+            std::make_unique<campaign::CampaignReport>(campaign::run_campaign(cfg));
+        return proto::Response::make_ok(last_campaign_->summary_lines());
+    }
+    return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                       "usage: campaign run <pairs> [seed] | "
+                                       "campaign report");
 }
 
 } // namespace gmdf::hub

@@ -15,6 +15,9 @@
 //   attach <session>                 switch this client's session (= use)
 //   acl allow|clear|show ...         restrict which sessions this client
 //                                    may address or receive events from
+//   campaign run <pairs> [seed]      seeded fault-hunt campaign over
+//                                    generated models (gmdf::campaign)
+//   campaign report                  re-print the last campaign's summary
 //
 // Every other verb is dispatched to the addressed (or current) session's
 // own controller, whose `run` hook the hub rebinds to the scheduler — so
@@ -45,6 +48,10 @@
 #include "hub/scheduler.hpp"
 #include "proto/dispatcher.hpp"
 #include "proto/script.hpp"
+
+namespace gmdf::campaign {
+struct CampaignReport;
+} // namespace gmdf::campaign
 
 namespace gmdf::hub {
 
@@ -81,6 +88,7 @@ public:
     };
 
     HubController();
+    ~HubController();
 
     HubController(const HubController&) = delete;
     HubController& operator=(const HubController&) = delete;
@@ -178,6 +186,7 @@ private:
     proto::Response session_stats_net();
     proto::Response cmd_attach(const proto::Request& req, RouteContext& ctx);
     proto::Response cmd_acl(const proto::Request& req, RouteContext& ctx);
+    proto::Response cmd_campaign(const proto::Request& req);
 
     SessionRegistry registry_;
     PollScheduler scheduler_;
@@ -189,6 +198,9 @@ private:
     std::deque<std::string> event_lines_;
     EventSink event_sink_;
     NetStatsProvider net_stats_provider_;
+    /// Last `campaign run` result (for `campaign report`); null until
+    /// a campaign has run on this hub.
+    std::unique_ptr<campaign::CampaignReport> last_campaign_;
 };
 
 } // namespace gmdf::hub

@@ -1,5 +1,9 @@
 #include "proto/scenarios.hpp"
 
+#include <cstdint>
+#include <optional>
+
+#include "campaign/generator.hpp"
 #include "codegen/faults.hpp"
 #include "comdes/validate.hpp"
 #include "core/builder.hpp"
@@ -90,54 +94,91 @@ void build_lift(Scenario& s) {
     s.stimuli.push_back({at_floor, 0.0, 360 * rt::kMs, 0});
 }
 
+/// Parses a decimal seed; nullopt when `text` is empty or not all digits.
+std::optional<std::uint32_t> parse_seed(std::string_view text) {
+    if (text.empty() || text.size() > 9) return std::nullopt;
+    std::uint32_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9') return std::nullopt;
+        value = value * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    return value;
+}
+
 } // namespace
 
 std::vector<std::string> scenario_names() {
     return {"blinker", "turntable", "lift_fault"};
 }
 
-std::unique_ptr<Scenario> make_scenario(std::string_view name) {
-    auto scenario = std::make_unique<Scenario>(std::string(name));
-    if (name == "blinker")
-        build_blinker(scenario->sys);
-    else if (name == "turntable")
-        build_turntable(*scenario);
-    else if (name == "lift_fault")
-        build_lift(*scenario);
-    else
-        return nullptr;
-
-    if (!meta::is_clean(comdes::validate_comdes(scenario->sys.model()))) return nullptr;
+bool finalize_scenario(Scenario& s) {
+    if (!meta::is_clean(comdes::validate_comdes(s.sys.model()))) return false;
 
     // Fault scenarios generate code from a mutated clone of the design
-    // (emulating a model-transformation bug, codegen/faults).
-    const meta::Model* generated = &scenario->sys.model();
-    if (name == "lift_fault") {
-        scenario->mutated = std::make_unique<meta::Model>(scenario->sys.model().clone());
-        if (!codegen::inject_fault(*scenario->mutated,
-                                   codegen::FaultKind::WrongTransitionTarget,
-                                   /*seed=*/23)
-                 .has_value())
-            return nullptr;
-        generated = scenario->mutated.get();
+    // (emulating a model-transformation bug, codegen/faults); the
+    // debugger keeps sys.model() as the design.
+    const meta::Model* generated = s.mutated ? s.mutated.get() : &s.sys.model();
+    s.loaded = codegen::load_system(s.target, *generated,
+                                    codegen::InstrumentOptions::active());
+    s.session = core::SessionBuilder(s.sys.model())
+                    .bindings(core::CommandBindingTable::defaults())
+                    .active_uart(s.target)
+                    .build();
+    for (const Scenario::Stimulus& st : s.stimuli)
+        s.target.schedule_publish(st.at, st.node,
+                                  s.loaded.signal_index.at(st.signal.raw), st.value);
+    s.timeline = std::make_unique<replay::Timeline>(s.target, *s.session);
+    s.controller().set_timeline(s.timeline.get());
+    replay::Timeline* timeline = s.timeline.get();
+    s.controller().set_run_hook(
+        [timeline](rt::SimTime duration) { timeline->advance(duration); });
+    s.target.start();
+    return true;
+}
+
+std::unique_ptr<Scenario> make_scenario(std::string_view name) {
+    auto scenario = std::make_unique<Scenario>(std::string(name));
+    std::optional<codegen::FaultKind> fault;
+
+    if (name == "blinker") {
+        build_blinker(scenario->sys);
+    } else if (name == "turntable") {
+        build_turntable(*scenario);
+    } else if (name == "lift_fault") {
+        build_lift(*scenario);
+        fault = codegen::FaultKind::WrongTransitionTarget;
+    } else if (name.rfind("lift_fault:", 0) == 0) {
+        fault = codegen::fault_kind_from_string(name.substr(11));
+        if (!fault.has_value()) return nullptr;
+        build_lift(*scenario);
+    } else if (name.rfind("gen:", 0) == 0) {
+        // "gen:<seed>[:<fault-kind>]" — a campaign-generated model.
+        std::string_view rest = name.substr(4);
+        std::string_view seed_text = rest;
+        if (auto colon = rest.find(':'); colon != std::string_view::npos) {
+            seed_text = rest.substr(0, colon);
+            fault = codegen::fault_kind_from_string(rest.substr(colon + 1));
+            if (!fault.has_value()) return nullptr;
+        }
+        auto seed = parse_seed(seed_text);
+        if (!seed.has_value()) return nullptr;
+        campaign::GeneratedSystem gen =
+            campaign::generate_system(scenario->sys, campaign::GenSpec{}, *seed);
+        if (gen.nodes > 1) scenario->target.set_network_latency(500 * rt::kUs);
+        for (const campaign::GenStimulus& st : gen.stimuli)
+            scenario->stimuli.push_back({st.signal, st.value, st.at, st.node});
+    } else {
+        return nullptr;
     }
 
-    scenario->loaded = codegen::load_system(scenario->target, *generated,
-                                            codegen::InstrumentOptions::active());
-    scenario->session = core::SessionBuilder(scenario->sys.model())
-                            .bindings(core::CommandBindingTable::defaults())
-                            .active_uart(scenario->target)
-                            .build();
-    for (const Scenario::Stimulus& st : scenario->stimuli)
-        scenario->target.schedule_publish(
-            st.at, st.node, scenario->loaded.signal_index.at(st.signal.raw), st.value);
-    scenario->timeline =
-        std::make_unique<replay::Timeline>(scenario->target, *scenario->session);
-    scenario->controller().set_timeline(scenario->timeline.get());
-    replay::Timeline* timeline = scenario->timeline.get();
-    scenario->controller().set_run_hook(
-        [timeline](rt::SimTime duration) { timeline->advance(duration); });
-    scenario->target.start();
+    if (fault.has_value()) {
+        scenario->mutated =
+            std::make_unique<meta::Model>(scenario->sys.model().clone());
+        if (!codegen::inject_fault(*scenario->mutated, *fault, /*seed=*/23)
+                 .has_value())
+            return nullptr;
+    }
+    if (!finalize_scenario(*scenario)) return nullptr;
     return scenario;
 }
 

@@ -61,8 +61,24 @@ struct Scenario {
 /// "turntable": the two-node production cell with scheduled stimuli;
 /// "lift_fault": an elevator controller whose generated code carries an
 /// injected wrong-transition-target fault — the bisect demo).
-/// Returns null for unknown names. The target is started; drive it with
-/// the `run` verb.
+/// Two parameterized families extend the fixed names:
+///   "lift_fault:<fault-kind>"  the elevator with any codegen::FaultKind
+///                              injected (kebab-case kind names);
+///   "gen:<seed>[:<fault-kind>]" a campaign-generated random model,
+///                              optionally with an injected fault.
+/// Returns null for unknown names, unknown fault kinds, and faults
+/// inapplicable to the model. The target is started; drive it with the
+/// `run` verb.
 [[nodiscard]] std::unique_ptr<Scenario> make_scenario(std::string_view name);
+
+/// Wires an externally built scenario (sys + stimuli populated, mutated
+/// optionally set): validates the design model, loads the generated code
+/// (from `mutated` when set — the injected-fault twin — else the design)
+/// onto the target, builds the session over the active command
+/// interface, schedules the stimuli through the rewind-safe publish
+/// path, attaches a replay::Timeline, and starts the target. False when
+/// the design model fails COMDES validation. The campaign runner and
+/// make_scenario share this tail.
+bool finalize_scenario(Scenario& s);
 
 } // namespace gmdf::proto

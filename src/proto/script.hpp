@@ -6,6 +6,26 @@
 // asynchronous events queued while a command ran — to an output stream.
 // Deterministic input therefore yields a byte-stable transcript, which
 // is what makes whole debug scenarios usable as text fixtures.
+//
+// Beyond plain request lines, scripts may use the .gds extension
+// language (after Parson et al.'s debugger scripting): client-side
+// constructs interpreted here, so they work identically against an
+// in-process controller, a hub, and a net::Channel to a remote hub.
+//
+//   let <name> <value>            define a variable; `$name` substitutes
+//                                 in later lines ($$ is a literal $)
+//   repeat <n> ... end            run the body n times
+//   if <query> <op> <value> ...   run the body when the comparison holds
+//     [else ...] end              (the query is a protocol request; its
+//                                 response's last token is compared)
+//   expect <query> <op> <value>   assertion; a failed expect aborts the
+//                                 script with a line-numbered diagnostic
+//   expect-block <query>          assert the query's full response body:
+//     | <line> ... end            each "| " line must match exactly
+//
+// Comparison ops: == != < > <= >= contains. Values that both parse as
+// numbers compare numerically, otherwise as strings; `contains`
+// searches every response body line for the substring.
 #pragma once
 
 #include <cstdint>
@@ -43,14 +63,28 @@ struct ScriptOptions {
     std::string prompt;
 };
 
+/// One line-numbered account of something going wrong: an error
+/// response to a request line, a failed expect / expect-block, or a
+/// malformed script construct. `text` is the offending source line.
+struct ScriptDiagnostic {
+    int line = 0;
+    std::string text;
+    std::string message;
+};
+
 struct ScriptResult {
     std::uint64_t requests = 0;
     std::uint64_t errors = 0;
-    bool quit = false; ///< the script ended with quit/exit
+    bool quit = false;   ///< the script ended with quit/exit
+    /// An expect tripped or the script was malformed; execution stopped
+    /// at the diagnostic.
+    bool failed = false;
+    std::vector<ScriptDiagnostic> diagnostics;
 };
 
-/// Runs lines from `in` until EOF or quit. Blank lines are skipped;
-/// lines starting with '#' are comments (echoed in script mode).
+/// Runs lines from `in` until EOF, quit, or a failed expect. Blank
+/// lines are skipped; lines starting with '#' are comments (echoed in
+/// script mode).
 ScriptResult run_script(ScriptClient& client, std::istream& in, std::ostream& out,
                         const ScriptOptions& options = {});
 

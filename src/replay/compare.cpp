@@ -1,0 +1,61 @@
+#include "replay/compare.hpp"
+
+namespace gmdf::replay {
+
+void TraceComparator::on_command(const link::Command& cmd, rt::SimTime t) {
+    if (mismatch_.has_value()) return;
+    if (idx_ >= expected_->size() || (*expected_)[idx_].t != t ||
+        !((*expected_)[idx_].cmd == cmd)) {
+        mismatch_ = idx_;
+        got_ = "@" + std::to_string(t) + "ns " + cmd.to_string();
+        return;
+    }
+    ++idx_;
+}
+
+void TraceComparator::on_divergence(const core::Divergence& d) {
+    if (div_step_.has_value()) return;
+    // on_command for the triggering command ran first, so the
+    // culprit is the event just consumed.
+    div_step_ = idx_ > 0 ? idx_ - 1 : 0;
+    div_msg_ = d.message;
+}
+
+std::string TraceComparator::reason(std::size_t step) const {
+    if (div_step_.has_value() && *div_step_ == step) return div_msg_;
+    if (step >= expected_->size())
+        return "re-execution produced " + got_ +
+               " beyond the end of the recorded trace";
+    return "re-execution produced " + got_ + " where the recorded trace has " +
+           "@" + std::to_string((*expected_)[step].t) + "ns " +
+           (*expected_)[step].cmd.to_string();
+}
+
+std::optional<TraceDifference> first_trace_difference(
+    const std::deque<core::TraceEvent>& expected,
+    const std::deque<core::TraceEvent>& observed) {
+    TraceComparator comp(expected, 0);
+    for (const core::TraceEvent& ev : observed) {
+        comp.on_command(ev.cmd, ev.t);
+        if (comp.first_bad().has_value()) break;
+    }
+    if (auto bad = comp.first_bad(); bad.has_value()) {
+        rt::SimTime t = *bad < expected.size() ? expected[*bad].t
+                                               : observed[comp.matched_through()].t;
+        std::string why = comp.reason(*bad);
+        // The comparator speaks bisect's dialect; reword for twin streams.
+        std::size_t pos = why.find("re-execution produced");
+        if (pos != std::string::npos)
+            why.replace(pos, std::string("re-execution produced").size(),
+                        "observed stream has");
+        return TraceDifference{*bad, t, std::move(why)};
+    }
+    if (observed.size() < expected.size())
+        return TraceDifference{observed.size(), expected[observed.size()].t,
+                               "observed stream ends " +
+                                   std::to_string(expected.size() - observed.size()) +
+                                   " event(s) before the expected stream"};
+    return std::nullopt;
+}
+
+} // namespace gmdf::replay

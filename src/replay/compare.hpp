@@ -1,0 +1,70 @@
+// TraceComparator: the replay-aware differential observer.
+//
+// Compares a command stream against a recorded trace and watches for
+// divergences. Two consumers share it: Timeline::bisect attaches one to
+// the engine while re-executing a span (the re-executed stream vs the
+// session's own recorded past), and campaign runs feed one twin's
+// recorded trace through it against the other twin's (faulted vs clean
+// differential check). Once the first disagreement (of either kind) is
+// found, later events are ignored — both consumers only need the
+// earliest bad step.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "core/observer.hpp"
+#include "core/trace.hpp"
+
+namespace gmdf::replay {
+
+class TraceComparator final : public core::EngineObserver {
+public:
+    /// Compares against `expected` starting at index `start`; the deque
+    /// must outlive the comparator.
+    TraceComparator(const std::deque<core::TraceEvent>& expected, std::size_t start)
+        : expected_(&expected), idx_(start) {}
+
+    [[nodiscard]] bool replay_aware() const override { return true; }
+
+    void on_command(const link::Command& cmd, rt::SimTime t) override;
+    void on_divergence(const core::Divergence& d) override;
+
+    /// Earliest bad step across both legs; nullopt when the compared
+    /// stream was a faithful, divergence-free match so far.
+    [[nodiscard]] std::optional<std::size_t> first_bad() const {
+        if (mismatch_.has_value() && div_step_.has_value())
+            return std::min(*mismatch_, *div_step_);
+        return mismatch_.has_value() ? mismatch_ : div_step_;
+    }
+
+    /// Human-readable account of the disagreement at `step`.
+    [[nodiscard]] std::string reason(std::size_t step) const;
+
+    /// Index of the next expected event (how far the match got).
+    [[nodiscard]] std::size_t matched_through() const { return idx_; }
+
+private:
+    const std::deque<core::TraceEvent>* expected_;
+    std::size_t idx_;
+    std::optional<std::size_t> mismatch_;
+    std::string got_;
+    std::optional<std::size_t> div_step_;
+    std::string div_msg_;
+};
+
+/// Offline differential check: feeds `observed` through a TraceComparator
+/// against `expected` and reports the first differing step — a length
+/// mismatch after a clean prefix counts as a difference at the shorter
+/// stream's end. nullopt when the traces agree event-for-event.
+struct TraceDifference {
+    std::size_t step = 0;  ///< index into `expected` of the first disagreement
+    rt::SimTime t = 0;     ///< its simulated time (of whichever stream has it)
+    std::string reason;
+};
+[[nodiscard]] std::optional<TraceDifference> first_trace_difference(
+    const std::deque<core::TraceEvent>& expected,
+    const std::deque<core::TraceEvent>& observed);
+
+} // namespace gmdf::replay

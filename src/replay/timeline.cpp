@@ -4,69 +4,10 @@
 
 #include "core/session.hpp"
 #include "replay/animate.hpp"
+#include "replay/compare.hpp"
 #include "rt/target.hpp"
 
 namespace gmdf::replay {
-
-namespace {
-
-/// Compares a re-executed command stream against the recorded trace and
-/// watches for divergences, as a replay-aware engine observer. Once the
-/// first disagreement (of either kind) is found, later events are
-/// ignored — the bisect probe only needs the earliest.
-class TraceComparator final : public core::EngineObserver {
-public:
-    TraceComparator(const std::deque<core::TraceEvent>& expected, std::size_t start)
-        : expected_(&expected), idx_(start) {}
-
-    [[nodiscard]] bool replay_aware() const override { return true; }
-
-    void on_command(const link::Command& cmd, rt::SimTime t) override {
-        if (mismatch_.has_value()) return;
-        if (idx_ >= expected_->size() || (*expected_)[idx_].t != t ||
-            !((*expected_)[idx_].cmd == cmd)) {
-            mismatch_ = idx_;
-            got_ = "@" + std::to_string(t) + "ns " + cmd.to_string();
-            return;
-        }
-        ++idx_;
-    }
-
-    void on_divergence(const core::Divergence& d) override {
-        if (div_step_.has_value()) return;
-        // on_command for the triggering command ran first, so the
-        // culprit is the event just consumed.
-        div_step_ = idx_ > 0 ? idx_ - 1 : 0;
-        div_msg_ = d.message;
-    }
-
-    /// Earliest bad step across both legs; nullopt when the probe saw a
-    /// faithful, divergence-free re-execution.
-    [[nodiscard]] std::optional<std::size_t> first_bad() const {
-        if (mismatch_.has_value() && div_step_.has_value())
-            return std::min(*mismatch_, *div_step_);
-        return mismatch_.has_value() ? mismatch_ : div_step_;
-    }
-    [[nodiscard]] std::string reason(std::size_t step) const {
-        if (div_step_.has_value() && *div_step_ == step) return div_msg_;
-        if (step >= expected_->size())
-            return "re-execution produced " + got_ +
-                   " beyond the end of the recorded trace";
-        return "re-execution produced " + got_ + " where the recorded trace has " +
-               "@" + std::to_string((*expected_)[step].t) + "ns " +
-               (*expected_)[step].cmd.to_string();
-    }
-
-private:
-    const std::deque<core::TraceEvent>* expected_;
-    std::size_t idx_;
-    std::optional<std::size_t> mismatch_;
-    std::string got_;
-    std::optional<std::size_t> div_step_;
-    std::string div_msg_;
-};
-
-} // namespace
 
 Timeline::Timeline(rt::Target& target, core::DebugSession& session)
     : target_(&target), session_(&session) {}

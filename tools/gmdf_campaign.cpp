@@ -1,0 +1,102 @@
+// gmdf_campaign — automated fault-hunt campaigns from the command line.
+//
+//   gmdf_campaign [--pairs N] [--seed S] [--wave W] [--json] [--verbose]
+//
+// Generates N seeded (model, injected-fault) pairs, runs each as twin
+// fleet sessions with a differential check, localizes every detected
+// divergence (replay bisect, twin-trace diff fallback), and prints the
+// per-fault-kind report. Exit status 0 iff every pair classified
+// (localized / clean / skipped) — CI's campaign gate.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "campaign/runner.hpp"
+
+namespace {
+
+void print_json(const gmdf::campaign::CampaignReport& report) {
+    std::printf("{\n  \"pairs\": %zu,\n  \"seed\": %u,\n", report.pairs.size(),
+                report.config.seed);
+    std::printf("  \"localized\": %d,\n  \"clean\": %d,\n  \"skipped\": %d,\n",
+                report.localized, report.clean, report.skipped);
+    std::printf("  \"unclassified\": %d,\n  \"by_kind\": {\n", report.unclassified());
+    const auto kinds = gmdf::codegen::all_fault_kinds();
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        auto it = report.by_kind.find(kinds[i]);
+        const gmdf::campaign::KindTally k =
+            it == report.by_kind.end() ? gmdf::campaign::KindTally{} : it->second;
+        std::printf("    \"%s\": {\"pairs\": %d, \"localized\": %d, \"bisect\": %d, "
+                    "\"differential\": %d, \"clean\": %d, \"skipped\": %d}%s\n",
+                    gmdf::codegen::to_string(kinds[i]), k.pairs, k.localized, k.bisect,
+                    k.differential, k.clean, k.skipped,
+                    i + 1 < kinds.size() ? "," : "");
+    }
+    std::printf("  }\n}\n");
+}
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--pairs N] [--seed S] [--wave W] [--json] [--verbose]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    gmdf::campaign::CampaignConfig cfg;
+    bool json = false;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_int = [&](long min_v) -> long {
+            if (i + 1 >= argc) return min_v - 1;
+            char* end = nullptr;
+            long v = std::strtol(argv[++i], &end, 10);
+            return (end == nullptr || *end != '\0') ? min_v - 1 : v;
+        };
+        if (arg == "--pairs") {
+            long v = next_int(1);
+            if (v < 1) return usage(argv[0]);
+            cfg.pairs = static_cast<int>(v);
+        } else if (arg == "--seed") {
+            long v = next_int(0);
+            if (v < 0) return usage(argv[0]);
+            cfg.seed = static_cast<std::uint32_t>(v);
+        } else if (arg == "--wave") {
+            long v = next_int(1);
+            if (v < 1) return usage(argv[0]);
+            cfg.wave = static_cast<int>(v);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    const gmdf::campaign::CampaignReport report = gmdf::campaign::run_campaign(cfg);
+
+    if (verbose) {
+        for (const auto& p : report.pairs)
+            std::printf("pair %d seed %u %s: %s%s%s %s\n", p.index, p.model_seed,
+                        gmdf::codegen::to_string(p.kind),
+                        gmdf::campaign::to_string(p.outcome),
+                        p.outcome == gmdf::campaign::Outcome::Localized ? " via " : "",
+                        p.outcome == gmdf::campaign::Outcome::Localized
+                            ? gmdf::campaign::to_string(p.method)
+                            : "",
+                        p.detail.c_str());
+    }
+    if (json) {
+        print_json(report);
+    } else {
+        for (const std::string& line : report.summary_lines())
+            std::printf("%s\n", line.c_str());
+    }
+    return report.unclassified() == 0 ? 0 : 1;
+}

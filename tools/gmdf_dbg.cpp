@@ -47,6 +47,17 @@ int usage(std::ostream& out, int code) {
     return code;
 }
 
+/// Line-numbered accounts of everything that went wrong, to stderr so
+/// transcripts on stdout stay byte-stable.
+void report_diagnostics(const std::string& script_path,
+                        const gmdf::proto::ScriptResult& result) {
+    for (const auto& d : result.diagnostics) {
+        std::cerr << "gmdf_dbg: " << script_path << ":" << d.line << ": " << d.message
+                  << "\n";
+        if (!d.text.empty()) std::cerr << "    > " << d.text << "\n";
+    }
+}
+
 int run(gmdf::proto::ScriptClient& client, const std::string& script_path,
         const std::string& greeting) {
     if (!script_path.empty()) {
@@ -57,13 +68,14 @@ int run(gmdf::proto::ScriptClient& client, const std::string& script_path,
         }
         auto result = gmdf::proto::run_script(client, script, std::cout,
                                               {/*echo=*/true, /*prompt=*/""});
-        return result.errors == 0 ? 0 : 1;
+        report_diagnostics(script_path, result);
+        return result.errors == 0 && !result.failed ? 0 : 1;
     }
     std::cout << greeting;
     auto result = gmdf::proto::run_script(client, std::cin, std::cout,
                                           {/*echo=*/false, /*prompt=*/"gmdf> "});
     if (!result.quit) std::cout << "\n";
-    return result.errors == 0 ? 0 : 1;
+    return result.errors == 0 && !result.failed ? 0 : 1;
 }
 
 } // namespace

@@ -1,9 +1,12 @@
 #include "campaign/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <thread>
 
 #include "hub/registry.hpp"
-#include "hub/scheduler.hpp"
+#include "hub/sharded.hpp"
 #include "replay/compare.hpp"
 
 namespace gmdf::campaign {
@@ -119,6 +122,32 @@ PairResult classify(hub::SessionRegistry& registry, const LivePair& live) {
     return r;
 }
 
+/// fn(i) for i in [0, n), fanned out across up to `threads` workers
+/// pulling indices from a shared counter. Serial (no threads spawned)
+/// when threads <= 1 or there is only one index. Joins before
+/// returning, so results written at distinct indices are ordered for
+/// the caller. fn must only touch index-local state.
+void parallel_for(int n, int threads, const std::function<void(int)>& fn) {
+    const int workers = std::min(threads, n);
+    if (workers <= 1) {
+        for (int i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    std::atomic<int> next{0};
+    auto drain = [&] {
+        for (;;) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
+    drain();
+    for (std::thread& t : pool) t.join();
+}
+
 void tally(CampaignReport& report, const PairResult& r) {
     KindTally& k = report.by_kind[r.kind];
     ++k.pairs;
@@ -150,54 +179,105 @@ CampaignReport run_campaign(const CampaignConfig& cfg) {
     const std::vector<codegen::FaultKind> kinds = codegen::all_fault_kinds();
     const int pairs = cfg.pairs < 0 ? 0 : cfg.pairs;
     const int wave_size = cfg.wave < 1 ? 1 : cfg.wave;
+    const int threads = cfg.threads < 1 ? 1 : cfg.threads;
+
+    /// A wave pair between construction and adoption (pair-local, so
+    /// construction fans out across threads).
+    struct Prep {
+        std::unique_ptr<proto::Scenario> clean;
+        std::unique_ptr<proto::Scenario> faulted;
+        std::string fault_description;
+    };
 
     for (int wave_start = 0; wave_start < pairs; wave_start += wave_size) {
         const int wave_end = std::min(pairs, wave_start + wave_size);
+        const int wave_n = wave_end - wave_start;
         hub::SessionRegistry registry;
-        hub::PollScheduler scheduler;
-        std::vector<LivePair> live;
+        hub::ShardedScheduler scheduler;
+        scheduler.set_threads(threads);
+        // Wave sessions never interact, so slice granularity only costs
+        // overhead here: one slice per checkpoint cadence gives the
+        // faulted twins the same capture instants (and therefore the
+        // same bisect windows) as the default 10 ms slicing, at a tenth
+        // of the round-robin bookkeeping.
+        if (cfg.checkpoint_every > 0) scheduler.set_budget(cfg.checkpoint_every);
 
-        for (int i = wave_start; i < wave_end; ++i) {
-            const std::uint32_t model_seed = cfg.seed * 100003u + static_cast<std::uint32_t>(i);
+        // Build every pair's twin scenarios in parallel: each pair is
+        // derived from its own seed alone.
+        std::vector<Prep> preps(static_cast<std::size_t>(wave_n));
+        parallel_for(wave_n, threads, [&](int j) {
+            const int i = wave_start + j;
+            const std::uint32_t model_seed =
+                cfg.seed * 100003u + static_cast<std::uint32_t>(i);
             const codegen::FaultKind kind =
                 kinds[static_cast<std::size_t>(i) % kinds.size()];
-
+            Prep& prep = preps[static_cast<std::size_t>(j)];
             MakeResult faulted = make_generated_scenario(cfg.gen, model_seed, kind);
-            if (faulted.scenario == nullptr) {
-                PairResult r;
-                r.index = i;
-                r.model_seed = model_seed;
-                r.kind = kind;
-                r.outcome = Outcome::Skipped;
-                r.detail = "no applicable element";
-                report.pairs.push_back(r);
-                tally(report, r);
-                continue;
-            }
+            if (faulted.scenario == nullptr) return; // skipped
             MakeResult clean = make_generated_scenario(cfg.gen, model_seed, std::nullopt);
 
             // Baseline checkpoint at t=0 so bisect's search window covers
             // the whole trace, then cadence captures during the pump.
             faulted.scenario->timeline->set_auto_period(cfg.checkpoint_every);
             faulted.scenario->timeline->capture_now();
+            prep.faulted = std::move(faulted.scenario);
+            prep.clean = std::move(clean.scenario);
+            prep.fault_description = std::move(faulted.fault_description);
+        });
 
+        // Adopt in pair order (stable session ids), then pump the whole
+        // wave across the scheduler's shards.
+        std::vector<LivePair> live;
+        std::vector<PairResult> skipped;
+        for (int j = 0; j < wave_n; ++j) {
+            const int i = wave_start + j;
+            const std::uint32_t model_seed =
+                cfg.seed * 100003u + static_cast<std::uint32_t>(i);
+            const codegen::FaultKind kind =
+                kinds[static_cast<std::size_t>(i) % kinds.size()];
+            Prep& prep = preps[static_cast<std::size_t>(j)];
+            if (prep.faulted == nullptr) {
+                PairResult r;
+                r.index = i;
+                r.model_seed = model_seed;
+                r.kind = kind;
+                r.outcome = Outcome::Skipped;
+                r.detail = "no applicable element";
+                skipped.push_back(r);
+                continue;
+            }
             const std::string tag = "p" + std::to_string(i);
-            auto* clean_entry = registry.adopt(std::move(clean.scenario), tag + "_clean");
-            auto* fault_entry =
-                registry.adopt(std::move(faulted.scenario), tag + "_fault");
+            auto* clean_entry = registry.adopt(std::move(prep.clean), tag + "_clean");
+            auto* fault_entry = registry.adopt(std::move(prep.faulted), tag + "_fault");
             live.push_back({i, model_seed, kind, clean_entry->id, fault_entry->id,
-                            std::move(faulted.fault_description)});
+                            std::move(prep.fault_description)});
         }
 
         scheduler.pump(registry, cfg.run_for, [](hub::SessionRegistry::Entry& entry) {
             entry.scenario->timeline->maybe_capture();
         });
 
-        for (const LivePair& pair : live) {
+        // Classify in parallel (bisect re-executes only its own pair's
+        // sessions), then assemble the report in pair order.
+        std::vector<PairResult> results(live.size());
+        parallel_for(static_cast<int>(live.size()), threads, [&](int j) {
+            const LivePair& pair = live[static_cast<std::size_t>(j)];
             PairResult r = classify(registry, pair);
             if (r.detail.empty()) r.detail = pair.fault_description;
-            report.pairs.push_back(r);
-            tally(report, r);
+            results[static_cast<std::size_t>(j)] = std::move(r);
+        });
+
+        std::size_t next_skipped = 0;
+        std::size_t next_live = 0;
+        for (int j = 0; j < wave_n; ++j) {
+            const int i = wave_start + j;
+            PairResult r;
+            if (next_skipped < skipped.size() && skipped[next_skipped].index == i)
+                r = std::move(skipped[next_skipped++]);
+            else
+                r = std::move(results[next_live++]);
+            report.pairs.push_back(std::move(r));
+            tally(report, report.pairs.back());
         }
     }
     return report;

@@ -17,8 +17,10 @@
 //
 // Zero crashes and zero unclassified pairs is the campaign contract;
 // gmdf_campaign's exit code enforces it in CI. Pairs run in waves on one
-// SessionRegistry + PollScheduler per wave, so campaigns exercise the
-// same fleet machinery the hub serves interactively.
+// SessionRegistry + ShardedScheduler per wave, so campaigns exercise the
+// same fleet machinery the hub serves interactively; `threads` fans the
+// wave's construction, pump, and classification across workers without
+// changing the report.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +46,13 @@ struct CampaignConfig {
     rt::SimTime run_for = 600 * rt::kMs;          ///< per-pair execution span
     rt::SimTime checkpoint_every = 100 * rt::kMs; ///< faulted twin's cadence
     int wave = 8; ///< pairs resident on the fleet at once
+    /// Worker threads per wave: scenario construction fans out across
+    /// pairs, the fleet pump shards across hub::ShardedScheduler, and
+    /// classification (bisect / twin diff) fans out again. 1 (default)
+    /// is fully serial. The report is identical at any thread count:
+    /// every pair is seeded, built, executed, and classified in
+    /// isolation, and results are assembled in pair order.
+    int threads = 1;
 };
 
 /// Scenario construction outcome for one (model, fault) pair.

@@ -43,9 +43,9 @@ HubController::HubController() {
     hub_dispatcher_.add({"session", "session list", "list hosted sessions", nullptr});
     hub_dispatcher_.add({"session", "session use <session>",
                          "switch the current session", nullptr});
-    hub_dispatcher_.add({"session", "session stats [net]",
+    hub_dispatcher_.add({"session", "session stats [net|shards]",
                          "hub totals: sessions, scheduler, aggregate engine counters"
-                         " (net: network server + per-connection)",
+                         " (net: network server; shards: per-shard pump split)",
                          nullptr});
     hub_dispatcher_.add({"attach", "attach <session>",
                          "switch this client's current session", nullptr});
@@ -58,9 +58,20 @@ HubController::HubController() {
                          "fault-hunt campaign over generated models", nullptr});
     hub_dispatcher_.add({"campaign", "campaign report",
                          "re-print the last campaign's summary", nullptr});
+    init_slice_hook();
 }
 
 HubController::~HubController() = default;
+
+void HubController::init_slice_hook() {
+    // One std::function for the hub's lifetime: constructing it per
+    // `run` request re-allocated the closure on every pump.
+    slice_hook_ = [this](SessionRegistry::Entry& pumped) {
+        collect_events(pumped);
+        if (pumped.scenario->timeline != nullptr)
+            pumped.scenario->timeline->maybe_capture();
+    };
+}
 
 SessionRegistry::Entry* HubController::open(std::string_view scenario, std::string name,
                                             SessionRegistry::OpenError* error) {
@@ -85,11 +96,7 @@ void HubController::install(SessionRegistry::Entry& entry, RouteContext& ctx) {
     // session's timeline a chance to take its cadence checkpoint, so
     // automatic checkpoints stay slice-granular under the hub.
     entry.controller().set_run_hook([this](rt::SimTime duration) {
-        scheduler_.pump(registry_, duration, [this](SessionRegistry::Entry& pumped) {
-            collect_events(pumped);
-            if (pumped.scenario->timeline != nullptr)
-                pumped.scenario->timeline->maybe_capture();
-        });
+        scheduler_.pump(registry_, duration, slice_hook_);
     });
     ctx.current = entry.id;
     ctx.opened.push_back(entry.id);
@@ -97,12 +104,29 @@ void HubController::install(SessionRegistry::Entry& entry, RouteContext& ctx) {
 }
 
 void HubController::collect_events(SessionRegistry::Entry& entry) {
-    for (const proto::Event& ev : entry.controller().drain_events()) {
+    // Runs on scheduler worker threads under a sharded pump — never two
+    // workers for the same session (the scheduler holds a session
+    // exclusively across its slice + hook), so draining the session's
+    // controller queue and formatting need no lock. Publishing into the
+    // hub queue / event sink is the MPSC step the mutex serializes;
+    // per-session event order is preserved because each session's lines
+    // arrive from its single current holder, in drain order.
+    auto events = entry.controller().drain_events();
+    if (events.empty()) return;
+    std::vector<std::string> lines;
+    lines.reserve(events.size());
+    for (const proto::Event& ev : events) {
         std::string line = proto::format_event(ev);
         if (multi_) line = "[" + entry.name + "] " + line;
+        lines.push_back(std::move(line));
+    }
+    std::lock_guard<std::mutex> lock(event_mu_);
+    for (std::string& line : lines) {
         if (event_sink_) {
             // Fan-out mode: the server owns per-connection queues and
-            // backpressure; the hub's own queue stays empty.
+            // backpressure; the hub's own queue stays empty. Serialized
+            // here so a single-threaded server never sees two workers
+            // inside its fan-out at once.
             event_sink_(entry.id, entry.name, line);
             continue;
         }
@@ -115,6 +139,7 @@ void HubController::collect_events(SessionRegistry::Entry& entry) {
 }
 
 std::vector<std::string> HubController::drain_event_lines() {
+    std::lock_guard<std::mutex> lock(event_mu_);
     std::vector<std::string> out(std::make_move_iterator(event_lines_.begin()),
                                  std::make_move_iterator(event_lines_.end()));
     event_lines_.clear();
@@ -269,9 +294,11 @@ proto::Response HubController::cmd_session(const proto::Request& req,
     if (sub == "use") return session_use(req, ctx);
     if (sub == "stats") {
         if (req.args.size() == 2 && req.args[1] == "net") return session_stats_net();
+        if (req.args.size() == 2 && req.args[1] == "shards")
+            return session_stats_shards();
         if (req.args.size() != 1)
             return proto::Response::make_error(proto::ErrorCode::BadArgument,
-                                               "usage: session stats [net]");
+                                               "usage: session stats [net|shards]");
         return session_stats();
     }
     return proto::Response::make_error(proto::ErrorCode::BadArgument,
@@ -406,6 +433,29 @@ proto::Response HubController::session_stats_net() {
         return proto::Response::make_error(proto::ErrorCode::BadState,
                                            "no network server attached");
     return proto::Response::make_ok(net_stats_provider_());
+}
+
+proto::Response HubController::session_stats_shards() {
+    // Typed bad-state on a single-threaded hub: plain hubs never grow
+    // these lines, so existing golden transcripts stay byte-identical.
+    if (scheduler_.threads() <= 1)
+        return proto::Response::make_error(
+            proto::ErrorCode::BadState,
+            "scheduler is single-threaded (start with --threads to shard the fleet)");
+    const auto& shards = scheduler_.shard_stats();
+    std::vector<std::string> body = {
+        "shards " + std::to_string(shards.size()) + " (budget " +
+        std::to_string(scheduler_.budget() / rt::kMs) + " ms)"};
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const auto& s = shards[i];
+        body.push_back("shard " + std::to_string(i) + ": sessions " +
+                       std::to_string(s.sessions) + " slices " +
+                       std::to_string(s.slices) + " advanced " +
+                       std::to_string(s.advanced / rt::kMs) + " ms steals " +
+                       std::to_string(s.steals));
+    }
+    body.push_back("steals-total " + std::to_string(scheduler_.total_steals()));
+    return proto::Response::make_ok(std::move(body));
 }
 
 proto::Response HubController::cmd_attach(const proto::Request& req,

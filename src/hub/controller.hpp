@@ -10,6 +10,7 @@
 //   session use <session>            switch the current session
 //   session stats                    hub totals and aggregate counters
 //   session stats net                network server + per-connection counters
+//   session stats shards             per-shard pump counters (sharded hubs)
 //   @<session> <verb ...>            route one request to a session by
 //                                    id or name without switching
 //   attach <session>                 switch this client's session (= use)
@@ -40,12 +41,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "hub/registry.hpp"
-#include "hub/scheduler.hpp"
+#include "hub/sharded.hpp"
 #include "proto/dispatcher.hpp"
 #include "proto/script.hpp"
 
@@ -97,7 +99,13 @@ public:
     /// miss install() (run-hook rebinding, current tracking, the
     /// multi-session tag latch) — go through open()/adopt() instead.
     [[nodiscard]] const SessionRegistry& registry() const { return registry_; }
-    [[nodiscard]] PollScheduler& scheduler() { return scheduler_; }
+
+    /// The fleet pump. threads=1 (default) keeps the single-threaded
+    /// PollScheduler semantics and transcripts; set_threads(N) shards
+    /// the fleet across N workers (`session stats shards` reports the
+    /// split). Event collection is safe either way: the hub queue is a
+    /// mutex-guarded MPSC under a sharded pump.
+    [[nodiscard]] ShardedScheduler& scheduler() { return scheduler_; }
 
     /// Hosts a new session from a built-in scenario / an externally
     /// built one; rebinds its run hook to the scheduler and makes it
@@ -169,6 +177,7 @@ public:
     [[nodiscard]] bool multi_session() const { return multi_; }
 
 private:
+    void init_slice_hook();
     proto::Response hub_ok(std::vector<std::string> body);
     proto::Response hub_error(proto::ErrorCode code, std::string message);
     proto::Response route(SessionRegistry::Entry& entry, std::string_view line);
@@ -184,16 +193,25 @@ private:
     proto::Response session_use(const proto::Request& req, RouteContext& ctx);
     proto::Response session_stats();
     proto::Response session_stats_net();
+    proto::Response session_stats_shards();
     proto::Response cmd_attach(const proto::Request& req, RouteContext& ctx);
     proto::Response cmd_acl(const proto::Request& req, RouteContext& ctx);
     proto::Response cmd_campaign(const proto::Request& req);
 
     SessionRegistry registry_;
-    PollScheduler scheduler_;
+    ShardedScheduler scheduler_;
     proto::Dispatcher hub_dispatcher_;
     RouteContext root_;
     bool multi_ = false;
     HubStats stats_;
+    /// Built once (not per `run`) and handed to every pump: collects a
+    /// session's events and drives its checkpoint cadence after each
+    /// slice. Runs on scheduler worker threads when the fleet is
+    /// sharded, hence the event mutex below.
+    ShardedScheduler::SliceHook slice_hook_;
+    /// Guards the hub event queue, its drop counter, and the event
+    /// sink call — the MPSC surface worker threads publish into.
+    std::mutex event_mu_;
     std::size_t event_capacity_ = 65536;
     std::deque<std::string> event_lines_;
     EventSink event_sink_;

@@ -63,9 +63,10 @@ SessionRegistry::Entry* SessionRegistry::adopt(std::unique_ptr<proto::Scenario> 
 SessionRegistry::Entry* SessionRegistry::insert(std::unique_ptr<proto::Scenario> scenario,
                                                 std::string name) {
     auto entry = std::make_unique<Entry>();
-    entry->id = next_id_++;
     entry->name = std::move(name);
     entry->scenario = std::move(scenario);
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->id = next_id_++;
     ++opened_;
     entries_.push_back(std::move(entry));
     return entries_.back().get();
@@ -75,6 +76,7 @@ bool SessionRegistry::close(int id) {
     auto it = std::find_if(entries_.begin(), entries_.end(),
                            [id](const auto& e) { return e->id == id; });
     if (it == entries_.end()) return false;
+    std::lock_guard<std::mutex> lock(mu_);
     accumulate(retired_, (*it)->scenario->session->engine().stats());
     entries_.erase(it);
     ++closed_;
@@ -121,6 +123,7 @@ void SessionRegistry::accumulate(core::EngineStats& into,
 }
 
 core::EngineStats SessionRegistry::aggregate_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
     core::EngineStats total = retired_;
     for (const auto& e : entries_)
         accumulate(total, e->scenario->session->engine().stats());

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -82,6 +83,14 @@ public:
     /// plus everything closed sessions had accumulated when they were
     /// retired — so the counters are monotonic across closes and usable
     /// for delta monitoring.
+    ///
+    /// Concurrency: open/adopt/close and aggregate_stats serialize on an
+    /// internal mutex, so the registry's shape and the retired totals
+    /// are safe against a reader and a mutator on different threads.
+    /// The per-session engine counters themselves are written by
+    /// whichever thread is pumping that session; ShardedScheduler::pump
+    /// joins its workers before returning, so reading them between
+    /// pumps (the only protocol path) is race-free.
     [[nodiscard]] core::EngineStats aggregate_stats() const;
 
 private:
@@ -89,6 +98,10 @@ private:
     Entry* insert(std::unique_ptr<proto::Scenario> scenario, std::string name);
     static void accumulate(core::EngineStats& into, const core::EngineStats& from);
 
+    /// Guards entries_'s shape, the open/close counters, and retired_.
+    /// entries()/find() stay lock-free: sessions are never opened or
+    /// closed while a pump is slicing the fleet (the SliceHook contract).
+    mutable std::mutex mu_;
     std::vector<std::unique_ptr<Entry>> entries_;
     int next_id_ = 1;
     std::uint64_t opened_ = 0;

@@ -25,10 +25,19 @@
 
 namespace gmdf::hub {
 
+/// Advances one session's target by `slice` and polls its transports at
+/// the new clock — the unit of work both schedulers are built from.
+/// Touches only that session's state, so distinct sessions may be
+/// sliced concurrently (ShardedScheduler relies on this).
+void pump_session_slice(SessionRegistry::Entry& entry, rt::SimTime slice);
+
 class PollScheduler {
 public:
     /// Called after each per-session slice (events queued by that slice
-    /// are ready to collect). Must not open or close sessions.
+    /// are ready to collect). Must not open or close sessions. Under
+    /// ShardedScheduler the hook runs on worker threads (never two
+    /// concurrent calls for the same session) — it must be safe to call
+    /// for distinct sessions concurrently.
     using SliceHook = std::function<void(SessionRegistry::Entry&)>;
 
     /// Per-session slice counters, kept across pumps.

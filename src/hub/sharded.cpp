@@ -1,0 +1,198 @@
+#include "hub/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace gmdf::hub {
+
+/// One session's work for this pump. Exclusively owned by whichever
+/// worker popped it (handoff happens under a shard mutex, which orders
+/// the session state), so its fields need no atomics.
+struct ShardedScheduler::Item {
+    SessionRegistry::Entry* entry = nullptr;
+    rt::SimTime remaining = 0;
+    std::uint64_t slices = 0;
+    rt::SimTime advanced = 0;
+};
+
+void ShardedScheduler::set_threads(int threads) {
+    threads_ = std::clamp(threads, 1, 256);
+    shards_.resize(static_cast<std::size_t>(threads_));
+}
+
+void ShardedScheduler::set_budget(rt::SimTime budget) {
+    if (budget <= 0) throw std::invalid_argument("scheduler budget must be positive");
+    budget_ = budget;
+}
+
+void ShardedScheduler::pump(SessionRegistry& registry, rt::SimTime duration,
+                            const SliceHook& after_slice) {
+    if (duration <= 0) return;
+    const int sessions = static_cast<int>(registry.size());
+    const int workers = std::min(threads_, sessions);
+    if (workers <= 1) {
+        pump_serial(registry, duration, after_slice);
+        return;
+    }
+    pump_parallel(registry, duration, after_slice, workers);
+}
+
+void ShardedScheduler::pump_serial(SessionRegistry& registry, rt::SimTime duration,
+                                   const SliceHook& after_slice) {
+    // The PollScheduler loop, verbatim: round-robin in registry order,
+    // one budget slice per session per round. Single-session transcripts
+    // under any thread count are byte-identical to PollScheduler's.
+    std::map<int, rt::SimTime> remaining;
+    for (const auto& e : registry.entries()) remaining[e->id] = duration;
+
+    const bool has_hook = static_cast<bool>(after_slice);
+    ShardStats& shard = shards_.front();
+    shard.sessions = static_cast<int>(registry.size());
+
+    bool any = true;
+    while (any) {
+        any = false;
+        for (const auto& e : registry.entries()) {
+            auto it = remaining.find(e->id);
+            if (it == remaining.end() || it->second <= 0) continue;
+            rt::SimTime slice = std::min(budget_, it->second);
+            pump_session_slice(*e, slice);
+            it->second -= slice;
+            any = true;
+            SessionPumpStats& s = stats_[e->id];
+            ++s.slices;
+            s.advanced += slice;
+            ++total_slices_;
+            ++shard.slices;
+            shard.advanced += slice;
+            if (has_hook) after_slice(*e);
+        }
+    }
+}
+
+void ShardedScheduler::pump_parallel(SessionRegistry& registry, rt::SimTime duration,
+                                     const SliceHook& after_slice, int workers) {
+    struct ShardQueue {
+        std::mutex mu;
+        std::deque<Item*> items;
+    };
+    /// Per-worker accumulators, merged into the scheduler's lifetime
+    /// counters after the join (no shared writes during the pump).
+    struct WorkerTally {
+        std::uint64_t slices = 0;
+        rt::SimTime advanced = 0;
+        std::uint64_t steals = 0;
+    };
+
+    // Deal the fleet round-robin across the shards, in registry order.
+    std::vector<Item> items(registry.size());
+    std::vector<ShardQueue> queues(static_cast<std::size_t>(workers));
+    {
+        std::size_t i = 0;
+        for (const auto& e : registry.entries()) {
+            items[i] = {e.get(), duration, 0, 0};
+            queues[i % static_cast<std::size_t>(workers)].items.push_back(&items[i]);
+            ++i;
+        }
+    }
+    for (int w = 0; w < workers; ++w)
+        shards_[static_cast<std::size_t>(w)].sessions =
+            static_cast<int>(queues[static_cast<std::size_t>(w)].items.size());
+    for (std::size_t w = static_cast<std::size_t>(workers); w < shards_.size(); ++w)
+        shards_[w].sessions = 0;
+
+    // An item is (a) queued on exactly one shard, (b) exclusively held
+    // by one worker, or (c) finished. in_flight counts (b); it is
+    // incremented under the shard mutex that popped the item and
+    // decremented only after any re-queue, so "every queue empty and
+    // in_flight == 0" really means all work is done. A worker that sees
+    // queues empty but items in flight yields and retries: the holder
+    // either finishes them or re-queues them onto its own shard (which
+    // it always drains before exiting), so no work is ever stranded.
+    std::atomic<int> in_flight{0};
+    const bool has_hook = static_cast<bool>(after_slice);
+    std::vector<WorkerTally> tallies(static_cast<std::size_t>(workers));
+
+    auto work = [&](int w) {
+        WorkerTally& tally = tallies[static_cast<std::size_t>(w)];
+        ShardQueue& own = queues[static_cast<std::size_t>(w)];
+        for (;;) {
+            Item* item = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(own.mu);
+                if (!own.items.empty()) {
+                    item = own.items.front();
+                    own.items.pop_front();
+                    in_flight.fetch_add(1, std::memory_order_acq_rel);
+                }
+            }
+            if (item == nullptr) {
+                // Steal from the back of the first non-empty shard —
+                // the session least recently serviced there, so the
+                // victim's own rotation is disturbed the least.
+                for (int off = 1; off < workers && item == nullptr; ++off) {
+                    ShardQueue& other =
+                        queues[static_cast<std::size_t>((w + off) % workers)];
+                    std::lock_guard<std::mutex> lock(other.mu);
+                    if (!other.items.empty()) {
+                        item = other.items.back();
+                        other.items.pop_back();
+                        in_flight.fetch_add(1, std::memory_order_acq_rel);
+                        ++tally.steals;
+                    }
+                }
+            }
+            if (item == nullptr) {
+                if (in_flight.load(std::memory_order_acquire) == 0) return;
+                std::this_thread::yield();
+                continue;
+            }
+
+            const rt::SimTime slice = std::min(budget_, item->remaining);
+            pump_session_slice(*item->entry, slice);
+            item->remaining -= slice;
+            ++item->slices;
+            item->advanced += slice;
+            ++tally.slices;
+            tally.advanced += slice;
+            // The hook runs while the session is still exclusively ours:
+            // re-queueing first would let another worker pump the next
+            // slice concurrently with the hook's per-session work.
+            if (has_hook) after_slice(*item->entry);
+            if (item->remaining > 0) {
+                std::lock_guard<std::mutex> lock(own.mu);
+                own.items.push_back(item);
+            }
+            in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int w = 1; w < workers; ++w) pool.emplace_back(work, w);
+    work(0); // the calling thread is shard 0's worker
+    for (std::thread& t : pool) t.join();
+
+    // All workers joined: merge the per-item and per-worker counters
+    // into the lifetime stats single-threaded.
+    for (const Item& item : items) {
+        SessionPumpStats& s = stats_[item.entry->id];
+        s.slices += item.slices;
+        s.advanced += item.advanced;
+        total_slices_ += item.slices;
+    }
+    for (int w = 0; w < workers; ++w) {
+        ShardStats& shard = shards_[static_cast<std::size_t>(w)];
+        const WorkerTally& tally = tallies[static_cast<std::size_t>(w)];
+        shard.slices += tally.slices;
+        shard.advanced += tally.advanced;
+        shard.steals += tally.steals;
+        total_steals_ += tally.steals;
+    }
+}
+
+} // namespace gmdf::hub

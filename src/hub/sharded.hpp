@@ -1,0 +1,110 @@
+// ShardedScheduler: the fleet pump across N worker threads.
+//
+// PollScheduler advances every live session round-robin on the calling
+// thread; one core is its ceiling. Sessions are fully isolated from
+// each other (separate targets, engines, observers, transports), so the
+// sharded scheduler partitions the fleet across worker threads and
+// pumps the shards concurrently in the same bounded simulated-time
+// slices:
+//
+//   - sessions are dealt round-robin (by registry order) onto
+//     min(threads, sessions) shards, each shard a deque the owning
+//     worker cycles front-to-back — within a shard service stays
+//     round-robin, exactly like PollScheduler's rounds;
+//   - a worker whose shard runs dry steals a queued session from the
+//     back of another shard and adopts it, so a few chatty sessions
+//     cannot idle the other cores (steals are counted per shard);
+//   - a session is held by exactly one worker at a time (it is off
+//     every deque while being sliced, and its after-slice hook runs
+//     before it is re-queued), so each session's slice sequence —
+//     min(budget, remaining) repeated — is the same as under
+//     PollScheduler, on one thread or eight.
+//
+// The per-session determinism contract follows: a given session's event
+// stream, transcript bytes, and replay behaviour are identical under 1
+// thread and N threads. What MAY differ across thread counts is the
+// cross-session interleaving of slices — and therefore the order in
+// which different sessions' events reach the hub queue; each event
+// still carries its session tag, so consumers see a tag-correct merge.
+//
+// threads=1 (the default) never spawns a thread and runs the exact
+// PollScheduler loop, which keeps existing single-threaded transcripts
+// byte-identical and makes PollScheduler semantics the special case.
+//
+// pump() is synchronous fork-join: workers are joined before it
+// returns, so all session state is quiescent (and happens-before
+// ordered) for the caller afterwards. The slice hook is the one surface
+// that runs on worker threads — it must tolerate concurrent calls for
+// *distinct* sessions (the hub's hook serializes its shared queue with
+// a mutex; per-session work like checkpoint cadence needs nothing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hub/scheduler.hpp"
+
+namespace gmdf::hub {
+
+class ShardedScheduler {
+public:
+    using SliceHook = PollScheduler::SliceHook;
+    using SessionPumpStats = PollScheduler::SessionPumpStats;
+
+    /// Lifetime per-shard counters (`session stats shards`). `sessions`
+    /// is the assignment of the most recent pump; the rest accumulate.
+    struct ShardStats {
+        int sessions = 0;          ///< sessions dealt to this shard, last pump
+        std::uint64_t slices = 0;  ///< slices this shard's worker pumped
+        rt::SimTime advanced = 0;  ///< simulated time it advanced
+        std::uint64_t steals = 0;  ///< sessions it stole from other shards
+    };
+
+    /// Worker-thread count; 1 (default) pumps inline with PollScheduler
+    /// semantics. Clamped to [1, 256].
+    void set_threads(int threads);
+    [[nodiscard]] int threads() const { return threads_; }
+
+    /// Per-session simulated-time budget of one slice (shared by every
+    /// shard). Must be positive; defaults to 10 ms.
+    void set_budget(rt::SimTime budget);
+    [[nodiscard]] rt::SimTime budget() const { return budget_; }
+
+    /// Advances every live session in `registry` by `duration` across
+    /// min(threads(), sessions) shards. Synchronous: returns once every
+    /// session has consumed the full duration and all workers joined.
+    /// The hook (when set) runs on worker threads, once per slice, while
+    /// the sliced session is still exclusively held.
+    void pump(SessionRegistry& registry, rt::SimTime duration,
+              const SliceHook& after_slice = {});
+
+    /// Per live session, kept across pumps (same shape as PollScheduler;
+    /// only read/merged between pumps, never during one).
+    [[nodiscard]] const std::map<int, SessionPumpStats>& stats() const { return stats_; }
+    [[nodiscard]] std::uint64_t total_slices() const { return total_slices_; }
+    [[nodiscard]] std::uint64_t total_steals() const { return total_steals_; }
+
+    /// One entry per configured shard (indexed 0..threads()-1).
+    [[nodiscard]] const std::vector<ShardStats>& shard_stats() const { return shards_; }
+
+    /// Drops a closed session's counters (ids never return).
+    void forget(int session_id) { stats_.erase(session_id); }
+
+private:
+    struct Item; ///< one session's remaining work, exclusively held or queued
+
+    void pump_serial(SessionRegistry& registry, rt::SimTime duration,
+                     const SliceHook& after_slice);
+    void pump_parallel(SessionRegistry& registry, rt::SimTime duration,
+                       const SliceHook& after_slice, int workers);
+
+    int threads_ = 1;
+    rt::SimTime budget_ = 10 * rt::kMs;
+    std::map<int, SessionPumpStats> stats_;
+    std::uint64_t total_slices_ = 0;
+    std::uint64_t total_steals_ = 0;
+    std::vector<ShardStats> shards_{1};
+};
+
+} // namespace gmdf::hub

@@ -1,0 +1,242 @@
+// Tests for the sharded fleet pump: the per-session determinism
+// contract (a session's transcript and event stream are identical at 1
+// thread and N threads), full-duration fairness across shards, work
+// stealing off overloaded shards, the `session stats shards` hub verb,
+// and campaign report equality at any thread count.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "comdes/build.hpp"
+#include "core/builder.hpp"
+#include "core/session.hpp"
+#include "hub/controller.hpp"
+#include "hub/registry.hpp"
+#include "hub/sharded.hpp"
+#include "proto/script.hpp"
+
+namespace gca = gmdf::campaign;
+namespace gco = gmdf::core;
+namespace gh = gmdf::hub;
+namespace gl = gmdf::link;
+namespace gp = gmdf::proto;
+namespace rt = gmdf::rt;
+
+namespace {
+
+// A hand-built scenario driven by a ScriptedTransport: `count` signal
+// updates spaced `spacing` apart, starting at `spacing` (same helper as
+// hub_test, target is only a clock source).
+std::unique_ptr<gp::Scenario> scripted_scenario(const std::string& name, int count,
+                                                rt::SimTime spacing) {
+    auto scenario = std::make_unique<gp::Scenario>(name);
+    auto& sys = scenario->sys;
+    auto sig = sys.add_signal("x", "real_");
+    auto actor = sys.add_actor("act", 10'000);
+    auto sm = actor.add_sm("machine", {"go"}, {"out"});
+    sm.add_state("idle", {{"out", "0"}});
+    auto transport = std::make_unique<gl::ScriptedTransport>();
+    for (int i = 1; i <= count; ++i)
+        transport->push({gl::Cmd::SignalUpdate, static_cast<std::uint32_t>(sig.raw), 0,
+                         static_cast<float>(i)},
+                        i * spacing);
+    scenario->session = std::make_unique<gco::DebugSession>(sys.model());
+    scenario->session->attach(std::move(transport));
+    return scenario;
+}
+
+std::string run_script_on_hub(gh::HubController& hub, const std::string& script_name) {
+    std::ifstream script(std::string(GMDF_SOURCE_DIR) + "/examples/" + script_name);
+    EXPECT_TRUE(script) << "missing examples/" << script_name;
+    std::ostringstream out;
+    auto result = gp::run_script(hub, script, out);
+    EXPECT_EQ(result.errors, 0u);
+    EXPECT_TRUE(result.quit);
+    return out.str();
+}
+
+// Splits a transcript into the per-session event streams (lines tagged
+// "[name] ...") and everything else (response lines, in script order).
+// Cross-session interleaving is the one thing a sharded pump may
+// legitimately change, so equality is asserted per stream.
+std::map<std::string, std::vector<std::string>> split_streams(const std::string& text) {
+    std::map<std::string, std::vector<std::string>> streams;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string key; // "" = untagged (responses, script echo)
+        if (!line.empty() && line.front() == '[') {
+            auto end = line.find(']');
+            if (end != std::string::npos) key = line.substr(1, end - 1);
+        }
+        streams[key].push_back(line);
+    }
+    return streams;
+}
+
+// ---- determinism contract ---------------------------------------------------
+
+TEST(Determinism, SingleSessionTranscriptMatchesPollSchedulerGolden) {
+    // threads=4 on a one-session hub must still produce the exact
+    // PollScheduler bytes (the quickstart golden is recorded against a
+    // bare single-threaded SessionController).
+    gh::HubController hub;
+    hub.scheduler().set_threads(4);
+    ASSERT_NE(hub.open("blinker", "blinker"), nullptr);
+    const std::string out = run_script_on_hub(hub, "quickstart.gds");
+
+    std::ifstream golden_file(std::string(GMDF_SOURCE_DIR) +
+                              "/tests/golden/quickstart_transcript.txt");
+    ASSERT_TRUE(golden_file) << "missing tests/golden/quickstart_transcript.txt";
+    std::ostringstream golden;
+    golden << golden_file.rdbuf();
+    EXPECT_EQ(out, golden.str());
+}
+
+TEST(Determinism, PerSessionEventStreamsIdenticalAcrossThreadCounts) {
+    // The fleet script runs two breakpointed sessions concurrently.
+    // Response lines and each session's own event stream must be
+    // byte-identical at 1 and 4 threads; only the cross-session merge
+    // order may move.
+    std::string outs[2];
+    const int threads[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        gh::HubController hub;
+        hub.scheduler().set_threads(threads[i]);
+        ASSERT_NE(hub.open("blinker", "blinker"), nullptr);
+        outs[i] = run_script_on_hub(hub, "fleet.gds");
+    }
+    auto serial = split_streams(outs[0]);
+    auto sharded = split_streams(outs[1]);
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (const auto& [key, lines] : serial) {
+        ASSERT_TRUE(sharded.contains(key)) << "stream '" << key << "' vanished";
+        EXPECT_EQ(sharded.at(key), lines)
+            << "stream '" << key << "' changed under a sharded pump";
+    }
+}
+
+// ---- fairness and stealing --------------------------------------------------
+
+TEST(Sharding, EverySessionConsumesTheFullDuration) {
+    gh::SessionRegistry registry;
+    for (int i = 0; i < 16; ++i)
+        ASSERT_NE(registry.adopt(scripted_scenario("s", 4, 20 * rt::kMs),
+                                 "s" + std::to_string(i)),
+                  nullptr);
+    gh::ShardedScheduler scheduler;
+    scheduler.set_threads(4);
+    scheduler.pump(registry, 100 * rt::kMs);
+
+    ASSERT_EQ(scheduler.stats().size(), 16u);
+    for (const auto& [id, s] : scheduler.stats()) {
+        EXPECT_EQ(s.advanced, 100 * rt::kMs) << "session " << id << " shortchanged";
+        EXPECT_EQ(s.slices, 10u); // 100 ms / 10 ms default budget
+    }
+    EXPECT_EQ(scheduler.total_slices(), 160u);
+
+    // The deal covered all four shards and dealt the whole fleet.
+    int dealt = 0;
+    std::uint64_t sliced = 0;
+    for (const auto& shard : scheduler.shard_stats()) {
+        dealt += shard.sessions;
+        sliced += shard.slices;
+        EXPECT_EQ(shard.sessions, 4);
+    }
+    EXPECT_EQ(dealt, 16);
+    EXPECT_EQ(sliced, 160u);
+}
+
+TEST(Sharding, IdleWorkersStealFromOverloadedShards) {
+    // Sessions 0,4,8,12 all land on shard 0 under a 4-way deal; make
+    // exactly those four expensive (a dense command flood) and the rest
+    // trivial, so shards 1-3 run dry while shard 0 still has queued
+    // work — which idle workers must then steal.
+    gh::SessionRegistry registry;
+    for (int i = 0; i < 16; ++i) {
+        const bool heavy = i % 4 == 0;
+        auto scenario = heavy ? scripted_scenario("h", 20000, 10 * rt::kUs)
+                              : scripted_scenario("l", 2, 50 * rt::kMs);
+        ASSERT_NE(registry.adopt(std::move(scenario), "s" + std::to_string(i)),
+                  nullptr);
+    }
+    gh::ShardedScheduler scheduler;
+    scheduler.set_threads(4);
+    scheduler.pump(registry, 200 * rt::kMs);
+
+    for (const auto& [id, s] : scheduler.stats())
+        EXPECT_EQ(s.advanced, 200 * rt::kMs) << "session " << id;
+    EXPECT_GE(scheduler.total_steals(), 1u)
+        << "idle shards never relieved the overloaded one";
+}
+
+TEST(Sharding, ThreadsClampAndBudgetValidation) {
+    gh::ShardedScheduler scheduler;
+    scheduler.set_threads(0);
+    EXPECT_EQ(scheduler.threads(), 1);
+    scheduler.set_threads(100000);
+    EXPECT_EQ(scheduler.threads(), 256);
+    EXPECT_EQ(scheduler.shard_stats().size(), 256u);
+    EXPECT_THROW(scheduler.set_budget(0), std::invalid_argument);
+    EXPECT_THROW(scheduler.set_budget(-1), std::invalid_argument);
+}
+
+// ---- hub verb ---------------------------------------------------------------
+
+TEST(HubVerb, SessionStatsShardsIsBadStateWhenSingleThreaded) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "a"), nullptr);
+    auto resp = hub.execute_line("session stats shards");
+    EXPECT_EQ(resp.code, gp::ErrorCode::BadState);
+    EXPECT_NE(resp.message.find("--threads"), std::string::npos);
+}
+
+TEST(HubVerb, SessionStatsShardsReportsTheSplit) {
+    gh::HubController hub;
+    hub.scheduler().set_threads(2);
+    ASSERT_NE(hub.open("blinker", "a"), nullptr);
+    ASSERT_NE(hub.open("blinker", "b"), nullptr);
+    ASSERT_TRUE(hub.execute_line("run 50").ok());
+
+    auto resp = hub.execute_line("session stats shards");
+    ASSERT_TRUE(resp.ok());
+    ASSERT_EQ(resp.body.size(), 4u); // header, 2 shard rows, steals total
+    EXPECT_EQ(resp.body[0], "shards 2 (budget 10 ms)");
+    EXPECT_NE(resp.body[1].find("shard 0: sessions 1"), std::string::npos);
+    EXPECT_NE(resp.body[2].find("shard 1: sessions 1"), std::string::npos);
+    EXPECT_NE(resp.body[3].find("steals-total"), std::string::npos);
+}
+
+// ---- campaign ---------------------------------------------------------------
+
+TEST(Campaign, ReportIdenticalAtAnyThreadCount) {
+    gca::CampaignConfig serial_cfg;
+    serial_cfg.pairs = 20;
+    serial_cfg.seed = 5;
+    gca::CampaignConfig sharded_cfg = serial_cfg;
+    sharded_cfg.threads = 4;
+
+    const gca::CampaignReport serial = gca::run_campaign(serial_cfg);
+    const gca::CampaignReport sharded = gca::run_campaign(sharded_cfg);
+
+    EXPECT_EQ(serial.summary_lines(), sharded.summary_lines());
+    ASSERT_EQ(serial.pairs.size(), sharded.pairs.size());
+    for (std::size_t i = 0; i < serial.pairs.size(); ++i) {
+        const auto& a = serial.pairs[i];
+        const auto& b = sharded.pairs[i];
+        EXPECT_EQ(a.index, b.index);
+        EXPECT_EQ(a.model_seed, b.model_seed);
+        EXPECT_EQ(a.outcome, b.outcome) << "pair " << a.index;
+        EXPECT_EQ(a.method, b.method) << "pair " << a.index;
+        EXPECT_EQ(a.step, b.step) << "pair " << a.index;
+        EXPECT_EQ(a.t, b.t) << "pair " << a.index;
+        EXPECT_EQ(a.detail, b.detail) << "pair " << a.index;
+    }
+}
+
+} // namespace

@@ -1,6 +1,7 @@
 // gmdf_campaign — automated fault-hunt campaigns from the command line.
 //
-//   gmdf_campaign [--pairs N] [--seed S] [--wave W] [--json] [--verbose]
+//   gmdf_campaign [--pairs N] [--seed S] [--wave W] [--threads N|-j N]
+//                 [--json] [--verbose]
 //
 // Generates N seeded (model, injected-fault) pairs, runs each as twin
 // fleet sessions with a differential check, localizes every detected
@@ -38,7 +39,8 @@ void print_json(const gmdf::campaign::CampaignReport& report) {
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--pairs N] [--seed S] [--wave W] [--json] [--verbose]\n",
+                 "usage: %s [--pairs N] [--seed S] [--wave W] [--threads N|-j N] "
+                 "[--json] [--verbose]\n",
                  argv0);
     return 2;
 }
@@ -70,6 +72,10 @@ int main(int argc, char** argv) {
             long v = next_int(1);
             if (v < 1) return usage(argv[0]);
             cfg.wave = static_cast<int>(v);
+        } else if (arg == "--threads" || arg == "-j") {
+            long v = next_int(1);
+            if (v < 1) return usage(argv[0]);
+            cfg.threads = static_cast<int>(v);
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--verbose") {

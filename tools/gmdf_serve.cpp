@@ -33,7 +33,7 @@ void handle_signal(int) { g_stop.store(true); }
 
 int usage(std::ostream& out, int code) {
     out << "usage: gmdf_serve [--model <name>] [--host <addr>] [--port <n>] "
-           "[--max-conn <n>]\n\n"
+           "[--max-conn <n>] [--threads <n>]\n\n"
         << "Serves a GMDF debug hub over TCP (frame or line codec).\n"
         << "  --model <name>    built-in scenario of the seed session:";
     for (const std::string& name : gmdf::proto::scenario_names()) out << " " << name;
@@ -41,6 +41,8 @@ int usage(std::ostream& out, int code) {
         << "  --host <addr>     bind address (default 127.0.0.1)\n"
         << "  --port <n>        TCP port; 0 picks an ephemeral one (default 0)\n"
         << "  --max-conn <n>    concurrent connection cap (default 10000)\n"
+        << "  --threads <n>     fleet pump worker threads; per-session behavior\n"
+        << "                    is identical at any count (default 1)\n"
         << "  --help            this text\n";
     return code;
 }
@@ -49,6 +51,7 @@ int usage(std::ostream& out, int code) {
 
 int main(int argc, char** argv) {
     std::string model = "blinker";
+    int threads = 1;
     gmdf::net::ServerConfig config;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -61,6 +64,12 @@ int main(int argc, char** argv) {
             config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
         } else if (arg == "--max-conn" && i + 1 < argc) {
             config.max_connections = std::atoi(argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+            if (threads < 1) {
+                std::cerr << "gmdf_serve: --threads must be >= 1\n";
+                return usage(std::cerr, 2);
+            }
         } else {
             std::cerr << "gmdf_serve: unknown argument '" << arg << "'\n";
             return usage(std::cerr, 2);
@@ -68,6 +77,7 @@ int main(int argc, char** argv) {
     }
 
     gmdf::hub::HubController hub;
+    hub.scheduler().set_threads(threads);
     auto* seed = hub.open(model, model);
     if (seed == nullptr) {
         std::cerr << "gmdf_serve: no scenario '" << model << "'\n";

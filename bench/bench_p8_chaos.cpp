@@ -1,0 +1,234 @@
+// P8 — the debug service under injected network faults: an in-process
+// hub + net::Server behind a seeded net::ChaosProxy, driven by
+// reconnect-enabled net::Channel clients at rising fault rates
+// (0% / 1% / 10% of forwarded chunks). Reports sustained requests/sec
+// and p50/p99 request latency per level — the p99 is where torn
+// frames, stalls, and redials live — plus the mean
+// reconnect-and-resume latency (dial + handshake + re-attach). Writes
+// BENCH_p8_chaos.json (CI smoke step).
+//
+// Requests are read-mostly (query signal) so the levels measure the
+// protocol and recovery path, not simulation cost. Every client rides
+// the public Channel redial machinery; a request that comes back as a
+// structured error (a corrupted byte diagnosed downstream) still
+// counts as a completed round trip — that is the designed degraded
+// mode, and its latency belongs in the distribution.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hub/controller.hpp"
+#include "net/chaos.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+using namespace gmdf;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr int kClients = 8;
+constexpr double kSeconds = 2.0;
+
+struct LevelResult {
+    double fault_rate = 0.0;
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t lost_clients = 0;
+    double seconds = 0.0;
+    double rps = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double mean_resume_us = 0.0;
+    net::ChaosStats proxy;
+};
+
+double percentile(std::vector<double>& sorted_us, double p) {
+    if (sorted_us.empty()) return 0.0;
+    std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(sorted_us.size() - 1));
+    return sorted_us[idx];
+}
+
+LevelResult run_level(double fault_rate, std::uint32_t seed) {
+    LevelResult result;
+    result.fault_rate = fault_rate;
+
+    hub::HubController hub;
+    for (int i = 0; i < kClients; ++i)
+        if (hub.open("blinker", "c" + std::to_string(i)) == nullptr) return result;
+
+    // The idle timeout converts a wedged mid-frame connection (e.g. a
+    // corrupted length prefix) into an EOF the clients recover from.
+    net::ServerConfig server_cfg;
+    server_cfg.idle_timeout_ms = 250;
+    net::Server server(hub, server_cfg);
+    if (!server.start()) return result;
+    std::atomic<bool> stop_server{false};
+    std::thread server_thread([&] { server.run(stop_server); });
+
+    net::ChaosConfig chaos;
+    chaos.upstream_port = server.port();
+    chaos.seed = seed;
+    chaos.fault_rate = fault_rate;
+    chaos.stall_ms = 3;
+    net::ChaosProxy proxy(chaos);
+    if (!proxy.start()) {
+        stop_server.store(true);
+        server_thread.join();
+        return result;
+    }
+    std::atomic<bool> stop_proxy{false};
+    std::thread proxy_thread([&] { proxy.run(stop_proxy); });
+
+    struct ClientTally {
+        std::vector<double> latencies_us;
+        std::uint64_t requests = 0;
+        std::uint64_t errors = 0;
+        std::uint64_t reconnects = 0;
+        std::int64_t reconnect_time_us = 0;
+        bool lost = false;
+    };
+    std::vector<ClientTally> tallies(kClients);
+
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(static_cast<int>(kSeconds * 1000));
+    std::vector<std::thread> workers;
+    workers.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        workers.emplace_back([&, i] {
+            ClientTally& tally = tallies[static_cast<std::size_t>(i)];
+            std::string error;
+            std::unique_ptr<net::Channel> channel;
+            for (int attempt = 0; attempt < 8 && channel == nullptr; ++attempt)
+                channel = net::Channel::connect("127.0.0.1", proxy.port(), &error);
+            if (channel == nullptr) {
+                tally.lost = true;
+                return;
+            }
+            net::Channel::ReconnectConfig rc;
+            rc.max_attempts = 8;
+            rc.base_delay_ms = 2;
+            rc.max_delay_ms = 100;
+            rc.jitter_seed = seed * 2654435761u + static_cast<std::uint32_t>(i);
+            channel->set_reconnect(rc);
+            (void)channel->execute_line("attach c" + std::to_string(i));
+            (void)channel->drain_event_lines();
+
+            while (Clock::now() < deadline) {
+                const Clock::time_point t0 = Clock::now();
+                proto::Response resp = channel->execute_line("query signal led");
+                (void)channel->drain_event_lines();
+                const double us =
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                         t0)
+                        .count() /
+                    1000.0;
+                tally.latencies_us.push_back(us);
+                ++tally.requests;
+                // A disconnected channel after an error response is
+                // normal here — a protocol-error reply closes the
+                // socket and the next request redials. Lost is judged
+                // once, at the end.
+                if (!resp.ok()) ++tally.errors;
+            }
+            proto::Response probe = channel->execute_line("info");
+            (void)channel->drain_event_lines();
+            tally.lost = !probe.ok();
+            tally.reconnects = channel->reconnects();
+            tally.reconnect_time_us = channel->reconnect_time_us();
+        });
+    }
+    const Clock::time_point start = Clock::now();
+    for (std::thread& t : workers) t.join();
+    result.seconds =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+            .count() /
+        1e9;
+
+    stop_proxy.store(true);
+    proxy_thread.join();
+    stop_server.store(true);
+    server_thread.join();
+
+    std::vector<double> all_us;
+    std::int64_t resume_us = 0;
+    for (const ClientTally& tally : tallies) {
+        result.requests += tally.requests;
+        result.errors += tally.errors;
+        result.reconnects += tally.reconnects;
+        resume_us += tally.reconnect_time_us;
+        if (tally.lost) ++result.lost_clients;
+        all_us.insert(all_us.end(), tally.latencies_us.begin(),
+                      tally.latencies_us.end());
+    }
+    std::sort(all_us.begin(), all_us.end());
+    result.rps = result.seconds > 0 ? static_cast<double>(result.requests) /
+                                          result.seconds
+                                    : 0.0;
+    result.p50_us = percentile(all_us, 0.50);
+    result.p99_us = percentile(all_us, 0.99);
+    result.mean_resume_us =
+        result.reconnects > 0
+            ? static_cast<double>(resume_us) / static_cast<double>(result.reconnects)
+            : 0.0;
+    result.proxy = proxy.stats();
+    return result;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const char* out_path = argc > 1 ? argv[1] : "BENCH_p8_chaos.json";
+    const double rates[] = {0.0, 0.01, 0.10};
+
+    std::vector<LevelResult> levels;
+    for (double rate : rates) {
+        LevelResult level = run_level(rate, /*seed=*/42);
+        std::printf("fault %4.1f%%: %8.0f req/s  p50 %8.1f us  p99 %9.1f us  "
+                    "%llu reconnects (mean resume %.0f us)  %llu errors  %llu lost\n",
+                    rate * 100.0, level.rps, level.p50_us, level.p99_us,
+                    static_cast<unsigned long long>(level.reconnects),
+                    level.mean_resume_us,
+                    static_cast<unsigned long long>(level.errors),
+                    static_cast<unsigned long long>(level.lost_clients));
+        levels.push_back(level);
+    }
+
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+        std::perror(out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"p8_chaos\",\n  \"clients\": %d,\n  \"levels\": [\n",
+                 kClients);
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const LevelResult& level = levels[i];
+        std::fprintf(
+            f,
+            "    {\"fault_rate\": %.2f, \"requests\": %llu, \"errors\": %llu, "
+            "\"seconds\": %.2f, \"rps\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+            "\"reconnects\": %llu, \"mean_resume_us\": %.0f, \"lost_clients\": %llu, "
+            "\"proxy\": {\"chunks\": %llu, \"torn\": %llu, \"stalls\": %llu, "
+            "\"disconnects\": %llu, \"corruptions\": %llu}}%s\n",
+            level.fault_rate, static_cast<unsigned long long>(level.requests),
+            static_cast<unsigned long long>(level.errors), level.seconds, level.rps,
+            level.p50_us, level.p99_us,
+            static_cast<unsigned long long>(level.reconnects), level.mean_resume_us,
+            static_cast<unsigned long long>(level.lost_clients),
+            static_cast<unsigned long long>(level.proxy.chunks),
+            static_cast<unsigned long long>(level.proxy.torn),
+            static_cast<unsigned long long>(level.proxy.stalls),
+            static_cast<unsigned long long>(level.proxy.disconnects),
+            static_cast<unsigned long long>(level.proxy.corruptions),
+            i + 1 < levels.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+    return 0;
+}

@@ -8,6 +8,8 @@
 // stream in registration order.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -103,27 +105,56 @@ public:
     }
 };
 
-/// Collects divergences (previously a baked-in engine field).
+/// Collects divergences (previously a baked-in engine field). Bounded
+/// like core::TraceRecorder: a divergence storm on a long-lived session
+/// must not grow memory without limit, so past the capacity the oldest
+/// entries are evicted and counted.
 class DivergenceLog final : public EngineObserver {
 public:
-    void on_divergence(const Divergence& d) override { divergences_.push_back(d); }
+    void on_divergence(const Divergence& d) override {
+        if (capacity_ != 0 && divergences_.size() >= capacity_) {
+            divergences_.pop_front();
+            ++dropped_;
+        }
+        divergences_.push_back(d);
+    }
 
-    [[nodiscard]] const std::vector<Divergence>& divergences() const {
+    [[nodiscard]] const std::deque<Divergence>& divergences() const {
         return divergences_;
     }
     [[nodiscard]] bool empty() const { return divergences_.empty(); }
     [[nodiscard]] std::size_t size() const { return divergences_.size(); }
-    void clear() { divergences_.clear(); }
+    void clear() {
+        divergences_.clear();
+        dropped_ = 0;
+    }
+
+    /// Ring capacity in entries; 0 records unbounded. Shrinking below
+    /// the current size evicts the oldest entries.
+    void set_capacity(std::size_t capacity) {
+        capacity_ = capacity;
+        while (capacity_ != 0 && divergences_.size() > capacity_) {
+            divergences_.pop_front();
+            ++dropped_;
+        }
+    }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Entries evicted because the ring was full (since the last clear).
+    [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
     /// Drops divergences after simulated time `t` (rewind discards the
-    /// abandoned future; entries are appended in time order).
+    /// abandoned future; entries are appended in time order). Eviction
+    /// accounting is untouched — only the newest entries go.
     void truncate_after(rt::SimTime t) {
         while (!divergences_.empty() && divergences_.back().t > t)
             divergences_.pop_back();
     }
 
 private:
-    std::vector<Divergence> divergences_;
+    std::deque<Divergence> divergences_;
+    std::size_t capacity_ = 4096; ///< generous for any real fault hunt
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace gmdf::core

@@ -105,7 +105,7 @@ public:
     void set_trace_capacity(std::size_t capacity) { trace_.set_capacity(capacity); }
 
     /// Divergences between observed behaviour and the design model.
-    [[nodiscard]] const std::vector<Divergence>& divergences() const {
+    [[nodiscard]] const std::deque<Divergence>& divergences() const {
         return divergence_log_.divergences();
     }
 

@@ -8,6 +8,9 @@
 //   session close [session]          close a session (default: current)
 //   session list                     list hosted sessions
 //   session use <session>            switch the current session
+//   session revive [session]         lift a faulted session's quarantine,
+//                                    restoring its last checkpoint when a
+//                                    timeline is attached
 //   session stats                    hub totals and aggregate counters
 //   session stats net                network server + per-connection counters
 //   session stats shards             per-shard pump counters (sharded hubs)
@@ -191,6 +194,7 @@ private:
     proto::Response session_close(const proto::Request& req, RouteContext& ctx);
     proto::Response session_list(const RouteContext& ctx);
     proto::Response session_use(const proto::Request& req, RouteContext& ctx);
+    proto::Response session_revive(const proto::Request& req, RouteContext& ctx);
     proto::Response session_stats();
     proto::Response session_stats_net();
     proto::Response session_stats_shards();

@@ -23,6 +23,12 @@ namespace gmdf::hub {
 
 class SessionRegistry {
 public:
+    /// Session lifecycle under fault containment. A Faulted session is
+    /// quarantined: the schedulers skip it and the hub refuses to route
+    /// requests into it, but it stays listed (with the captured error)
+    /// until closed or revived — the rest of the fleet is unaffected.
+    enum class Health { Live, Faulted };
+
     /// One hosted session. The id is stable for the life of the hub and
     /// never reused; the name is unique among live sessions (a closed
     /// session's name may be reopened, yielding a fresh id).
@@ -30,10 +36,30 @@ public:
         int id = 0;
         std::string name;
         std::unique_ptr<proto::Scenario> scenario;
+        /// Fault containment state. Written only by whichever thread
+        /// exclusively holds the session (a pump worker mid-slice, or
+        /// the hub's request path); read between pumps.
+        Health health = Health::Live;
+        std::string fault_reason;
+        bool runaway = false;        ///< quarantined by the pump watchdog
+        int overrun_strikes = 0;     ///< consecutive slice-deadline overruns
 
         [[nodiscard]] core::DebugSession& session() { return *scenario->session; }
         [[nodiscard]] proto::SessionController& controller() {
             return scenario->controller();
+        }
+        [[nodiscard]] bool faulted() const { return health == Health::Faulted; }
+        void mark_faulted(std::string reason) {
+            health = Health::Faulted;
+            fault_reason = std::move(reason);
+        }
+        /// Clears the quarantine (session revive). The caller is
+        /// responsible for restoring sane session state first.
+        void clear_fault() {
+            health = Health::Live;
+            fault_reason.clear();
+            runaway = false;
+            overrun_strikes = 0;
         }
     };
 
@@ -75,6 +101,14 @@ public:
         return entries_;
     }
     [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+    /// Hosted sessions currently quarantined as Faulted.
+    [[nodiscard]] std::size_t faulted_count() const {
+        std::size_t n = 0;
+        for (const auto& e : entries_)
+            if (e->faulted()) ++n;
+        return n;
+    }
 
     [[nodiscard]] std::uint64_t opened() const { return opened_; }
     [[nodiscard]] std::uint64_t closed() const { return closed_; }

@@ -1,6 +1,7 @@
 #include "hub/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "core/session.hpp"
@@ -17,6 +18,44 @@ void pump_session_slice(SessionRegistry::Entry& entry, rt::SimTime slice) {
         transport->poll(session.engine(), now);
 }
 
+bool pump_session_slice_guarded(SessionRegistry::Entry& entry, rt::SimTime slice,
+                                const WatchdogConfig& watchdog,
+                                WatchdogStats& stats) {
+    using clock = std::chrono::steady_clock;
+    const clock::time_point start = watchdog.enabled() ? clock::now()
+                                                       : clock::time_point{};
+    try {
+        pump_session_slice(entry, slice);
+    } catch (const std::exception& e) {
+        entry.mark_faulted(e.what());
+        return false;
+    } catch (...) {
+        entry.mark_faulted("unknown exception during pump slice");
+        return false;
+    }
+    if (watchdog.enabled()) {
+        const auto elapsed_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - start)
+                .count();
+        if (elapsed_us > watchdog.slice_limit_us) {
+            ++stats.overruns;
+            if (++entry.overrun_strikes >= watchdog.max_strikes) {
+                ++stats.runaways;
+                entry.runaway = true;
+                entry.mark_faulted(
+                    "watchdog: " + std::to_string(entry.overrun_strikes) +
+                    " consecutive slices over the " +
+                    std::to_string(watchdog.slice_limit_us) + " us deadline (last " +
+                    std::to_string(elapsed_us) + " us)");
+                return false;
+            }
+        } else {
+            entry.overrun_strikes = 0; // strikes are consecutive, not lifetime
+        }
+    }
+    return true;
+}
+
 void PollScheduler::set_budget(rt::SimTime budget) {
     if (budget <= 0) throw std::invalid_argument("scheduler budget must be positive");
     budget_ = budget;
@@ -26,9 +65,11 @@ void PollScheduler::pump(SessionRegistry& registry, rt::SimTime duration,
                          const SliceHook& after_slice) {
     if (duration <= 0) return;
     // Remaining simulated time per session id. Sessions opened mid-pump
-    // (there is no protocol path that does) would simply be skipped.
+    // (there is no protocol path that does) would simply be skipped;
+    // faulted sessions never enter the rotation.
     std::map<int, rt::SimTime> remaining;
-    for (const auto& e : registry.entries()) remaining[e->id] = duration;
+    for (const auto& e : registry.entries())
+        if (!e->faulted()) remaining[e->id] = duration;
 
     // Hoisted out of the slice loop: std::function's operator bool and
     // the indirect call setup are not free at bench_p2's ~0.3 µs/slice.
@@ -41,20 +82,22 @@ void PollScheduler::pump(SessionRegistry& registry, rt::SimTime duration,
             auto it = remaining.find(e->id);
             if (it == remaining.end() || it->second <= 0) continue;
             rt::SimTime slice = std::min(budget_, it->second);
-            pump_slice(*e, slice);
+            bool alive = pump_slice(*e, slice);
             it->second -= slice;
             any = true;
             if (has_hook) after_slice(*e);
+            if (!alive) it->second = 0; // quarantined: out of this rotation too
         }
     }
 }
 
-void PollScheduler::pump_slice(SessionRegistry::Entry& entry, rt::SimTime slice) {
-    pump_session_slice(entry, slice);
+bool PollScheduler::pump_slice(SessionRegistry::Entry& entry, rt::SimTime slice) {
+    bool alive = pump_session_slice_guarded(entry, slice, watchdog_, watchdog_stats_);
     SessionPumpStats& s = stats_[entry.id];
     ++s.slices;
     s.advanced += slice;
     ++total_slices_;
+    return alive;
 }
 
 } // namespace gmdf::hub

@@ -14,6 +14,13 @@
 // one contiguous run (the DES kernel dispatches the same events in the
 // same order across run_until boundaries) — which is what keeps
 // single-session transcripts byte-stable under the hub.
+//
+// Fault containment: every slice runs guarded. A session whose target
+// throws — or that repeatedly blows the optional wall-clock watchdog
+// deadline — transitions to Faulted and drops out of the rotation for
+// the rest of the hub's life (until revived); the other sessions' slice
+// sequences are unchanged, so their transcripts stay byte-identical
+// with or without a crashing neighbour.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +37,34 @@ namespace gmdf::hub {
 /// Touches only that session's state, so distinct sessions may be
 /// sliced concurrently (ShardedScheduler relies on this).
 void pump_session_slice(SessionRegistry::Entry& entry, rt::SimTime slice);
+
+/// Pump watchdog knobs, shared by both schedulers. Off by default: the
+/// deadline is wall-clock time per slice, so enabling it makes pump
+/// outcomes depend on host load — an explicit operator choice.
+struct WatchdogConfig {
+    /// Wall-clock deadline of one slice in microseconds; 0 disables.
+    std::int64_t slice_limit_us = 0;
+    /// Consecutive overruns before the session is flagged runaway and
+    /// quarantined (a single slow slice on a loaded host is forgiven).
+    int max_strikes = 3;
+    [[nodiscard]] bool enabled() const { return slice_limit_us > 0; }
+};
+
+/// Lifetime watchdog counters.
+struct WatchdogStats {
+    std::uint64_t overruns = 0;  ///< slices that blew the deadline
+    std::uint64_t runaways = 0;  ///< sessions quarantined for repeat offenses
+};
+
+/// pump_session_slice under crash isolation: an exception transitions
+/// the session to Faulted (quarantining it from scheduling) instead of
+/// unwinding the pump, and a watchdog deadline overrun counts a strike
+/// — max_strikes consecutive ones quarantine the session as runaway.
+/// Returns false when the session faulted (the caller drops it from the
+/// round). The entry is exclusively held by the caller, so its health
+/// fields need no locking; `stats` is the caller's accumulator.
+bool pump_session_slice_guarded(SessionRegistry::Entry& entry, rt::SimTime slice,
+                                const WatchdogConfig& watchdog, WatchdogStats& stats);
 
 class PollScheduler {
 public:
@@ -51,6 +86,12 @@ public:
     void set_budget(rt::SimTime budget);
     [[nodiscard]] rt::SimTime budget() const { return budget_; }
 
+    /// Pump watchdog (per-slice wall-clock deadline); disabled by
+    /// default so transcripts never depend on host load unless asked to.
+    void set_watchdog(WatchdogConfig config) { watchdog_ = config; }
+    [[nodiscard]] const WatchdogConfig& watchdog() const { return watchdog_; }
+    [[nodiscard]] const WatchdogStats& watchdog_stats() const { return watchdog_stats_; }
+
     /// Advances every live session in `registry` by `duration`:
     /// round-robin over the sessions in id order, each slice running one
     /// session's target forward by min(budget, remaining) and polling
@@ -69,9 +110,12 @@ public:
     void forget(int session_id) { stats_.erase(session_id); }
 
 private:
-    void pump_slice(SessionRegistry::Entry& entry, rt::SimTime slice);
+    /// Returns false when the slice faulted the session.
+    bool pump_slice(SessionRegistry::Entry& entry, rt::SimTime slice);
 
     rt::SimTime budget_ = 10 * rt::kMs;
+    WatchdogConfig watchdog_;
+    WatchdogStats watchdog_stats_;
     std::map<int, SessionPumpStats> stats_;
     std::uint64_t total_slices_ = 0;
 };

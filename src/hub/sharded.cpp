@@ -32,8 +32,12 @@ void ShardedScheduler::set_budget(rt::SimTime budget) {
 void ShardedScheduler::pump(SessionRegistry& registry, rt::SimTime duration,
                             const SliceHook& after_slice) {
     if (duration <= 0) return;
-    const int sessions = static_cast<int>(registry.size());
-    const int workers = std::min(threads_, sessions);
+    // Faulted sessions are quarantined from the rotation; size the pool
+    // for the sessions that will actually be pumped.
+    int live = 0;
+    for (const auto& e : registry.entries())
+        if (!e->faulted()) ++live;
+    const int workers = std::min(threads_, live);
     if (workers <= 1) {
         pump_serial(registry, duration, after_slice);
         return;
@@ -47,11 +51,13 @@ void ShardedScheduler::pump_serial(SessionRegistry& registry, rt::SimTime durati
     // one budget slice per session per round. Single-session transcripts
     // under any thread count are byte-identical to PollScheduler's.
     std::map<int, rt::SimTime> remaining;
-    for (const auto& e : registry.entries()) remaining[e->id] = duration;
+    for (const auto& e : registry.entries())
+        if (!e->faulted()) remaining[e->id] = duration;
 
     const bool has_hook = static_cast<bool>(after_slice);
     ShardStats& shard = shards_.front();
-    shard.sessions = static_cast<int>(registry.size());
+    shard.sessions = static_cast<int>(remaining.size());
+    WatchdogStats tally; // merged below so shard deltas are visible
 
     bool any = true;
     while (any) {
@@ -60,7 +66,7 @@ void ShardedScheduler::pump_serial(SessionRegistry& registry, rt::SimTime durati
             auto it = remaining.find(e->id);
             if (it == remaining.end() || it->second <= 0) continue;
             rt::SimTime slice = std::min(budget_, it->second);
-            pump_session_slice(*e, slice);
+            bool alive = pump_session_slice_guarded(*e, slice, watchdog_, tally);
             it->second -= slice;
             any = true;
             SessionPumpStats& s = stats_[e->id];
@@ -70,8 +76,15 @@ void ShardedScheduler::pump_serial(SessionRegistry& registry, rt::SimTime durati
             ++shard.slices;
             shard.advanced += slice;
             if (has_hook) after_slice(*e);
+            if (!alive) {
+                it->second = 0; // quarantined: out of this rotation too
+                ++shard.faulted;
+            }
         }
     }
+    shard.overruns += tally.overruns;
+    watchdog_stats_.overruns += tally.overruns;
+    watchdog_stats_.runaways += tally.runaways;
 }
 
 void ShardedScheduler::pump_parallel(SessionRegistry& registry, rt::SimTime duration,
@@ -86,18 +99,23 @@ void ShardedScheduler::pump_parallel(SessionRegistry& registry, rt::SimTime dura
         std::uint64_t slices = 0;
         rt::SimTime advanced = 0;
         std::uint64_t steals = 0;
+        std::uint64_t faulted = 0;
+        WatchdogStats watchdog;
     };
 
-    // Deal the fleet round-robin across the shards, in registry order.
+    // Deal the live (non-faulted) fleet round-robin across the shards,
+    // in registry order.
     std::vector<Item> items(registry.size());
     std::vector<ShardQueue> queues(static_cast<std::size_t>(workers));
     {
         std::size_t i = 0;
         for (const auto& e : registry.entries()) {
+            if (e->faulted()) continue;
             items[i] = {e.get(), duration, 0, 0};
             queues[i % static_cast<std::size_t>(workers)].items.push_back(&items[i]);
             ++i;
         }
+        items.resize(i);
     }
     for (int w = 0; w < workers; ++w)
         shards_[static_cast<std::size_t>(w)].sessions =
@@ -153,7 +171,8 @@ void ShardedScheduler::pump_parallel(SessionRegistry& registry, rt::SimTime dura
             }
 
             const rt::SimTime slice = std::min(budget_, item->remaining);
-            pump_session_slice(*item->entry, slice);
+            const bool alive = pump_session_slice_guarded(*item->entry, slice,
+                                                          watchdog_, tally.watchdog);
             item->remaining -= slice;
             ++item->slices;
             item->advanced += slice;
@@ -163,6 +182,12 @@ void ShardedScheduler::pump_parallel(SessionRegistry& registry, rt::SimTime dura
             // re-queueing first would let another worker pump the next
             // slice concurrently with the hook's per-session work.
             if (has_hook) after_slice(*item->entry);
+            if (!alive) {
+                // Quarantined: never re-queued, so no other worker can
+                // touch the faulted session for the rest of this pump.
+                item->remaining = 0;
+                ++tally.faulted;
+            }
             if (item->remaining > 0) {
                 std::lock_guard<std::mutex> lock(own.mu);
                 own.items.push_back(item);
@@ -191,7 +216,11 @@ void ShardedScheduler::pump_parallel(SessionRegistry& registry, rt::SimTime dura
         shard.slices += tally.slices;
         shard.advanced += tally.advanced;
         shard.steals += tally.steals;
+        shard.overruns += tally.watchdog.overruns;
+        shard.faulted += tally.faulted;
         total_steals_ += tally.steals;
+        watchdog_stats_.overruns += tally.watchdog.overruns;
+        watchdog_stats_.runaways += tally.watchdog.runaways;
     }
 }
 

@@ -59,6 +59,8 @@ public:
         std::uint64_t slices = 0;  ///< slices this shard's worker pumped
         rt::SimTime advanced = 0;  ///< simulated time it advanced
         std::uint64_t steals = 0;  ///< sessions it stole from other shards
+        std::uint64_t overruns = 0; ///< watchdog deadline overruns it observed
+        std::uint64_t faulted = 0;  ///< sessions its slices quarantined
     };
 
     /// Worker-thread count; 1 (default) pumps inline with PollScheduler
@@ -70,6 +72,14 @@ public:
     /// shard). Must be positive; defaults to 10 ms.
     void set_budget(rt::SimTime budget);
     [[nodiscard]] rt::SimTime budget() const { return budget_; }
+
+    /// Pump watchdog (per-slice wall-clock deadline), shared by every
+    /// shard; disabled by default. Workers tally overruns privately and
+    /// the tallies are merged after join, so the global stats are only
+    /// read between pumps.
+    void set_watchdog(WatchdogConfig config) { watchdog_ = config; }
+    [[nodiscard]] const WatchdogConfig& watchdog() const { return watchdog_; }
+    [[nodiscard]] const WatchdogStats& watchdog_stats() const { return watchdog_stats_; }
 
     /// Advances every live session in `registry` by `duration` across
     /// min(threads(), sessions) shards. Synchronous: returns once every
@@ -101,6 +111,8 @@ private:
 
     int threads_ = 1;
     rt::SimTime budget_ = 10 * rt::kMs;
+    WatchdogConfig watchdog_;
+    WatchdogStats watchdog_stats_;
     std::map<int, SessionPumpStats> stats_;
     std::uint64_t total_slices_ = 0;
     std::uint64_t total_steals_ = 0;

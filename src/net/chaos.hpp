@@ -1,0 +1,133 @@
+// net::ChaosProxy — a deterministic network-fault injector for the
+// debug service.
+//
+// A single-threaded poll(2) TCP proxy that sits between net::Channel
+// clients and a net::Server, forwarding bytes in both directions while
+// injecting faults drawn from a seeded PRNG: torn frames (a prefix of a
+// chunk is delivered, then the connection is cut), stalls (a chunk is
+// parked for stall_ms before forwarding), mid-request disconnects
+// (the chunk is discarded and both sides closed), and byte corruption
+// (one byte flipped, then forwarded — the codec's length/type guards
+// turn this into a structured protocol error downstream).
+//
+// Faults are decided per forwarded chunk with probability fault_rate;
+// the whole schedule is a pure function of (seed, traffic), so a chaos
+// run that found a weakness replays it. For tests that need a cut at an
+// exact protocol position rather than a seeded one, the
+// disconnect_after_chunks knob tears the Nth client→server chunk in
+// half and cuts — once per proxy, so the client's reconnect succeeds.
+//
+// The proxy is transparent to the codec (it never parses frames) and
+// accepts any number of sequential reconnections, dialing the upstream
+// server fresh for each — exactly what a redialing Channel needs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace gmdf::net {
+
+struct ChaosConfig {
+    std::string listen_host = "127.0.0.1";
+    std::uint16_t listen_port = 0; ///< 0: ephemeral (read it from port())
+    std::string upstream_host = "127.0.0.1";
+    std::uint16_t upstream_port = 0;
+    std::uint32_t seed = 1;
+    /// Probability in [0,1] that a forwarded chunk draws one fault.
+    double fault_rate = 0.0;
+    /// How long a stalled chunk is parked before delivery.
+    int stall_ms = 5;
+    /// Deterministic cut: tear the Nth client→server chunk in half and
+    /// close the pair (0 disables). Fires once per proxy lifetime so
+    /// the reconnected client gets a clean second run.
+    int disconnect_after_chunks = 0;
+    /// Which seeded fault kinds the injector may draw.
+    bool tear = true;
+    bool stall = true;
+    bool disconnect = true;
+    bool corrupt = true;
+};
+
+struct ChaosStats {
+    std::uint64_t connections = 0; ///< client connections proxied
+    std::uint64_t chunks = 0;      ///< chunks forwarded, both directions
+    std::uint64_t torn = 0;        ///< half-delivered chunks followed by a cut
+    std::uint64_t stalls = 0;      ///< chunks parked for stall_ms
+    std::uint64_t disconnects = 0; ///< chunks swallowed by an immediate cut
+    std::uint64_t corruptions = 0; ///< chunks forwarded with one byte flipped
+};
+
+class ChaosProxy {
+public:
+    explicit ChaosProxy(ChaosConfig config);
+    ~ChaosProxy();
+
+    ChaosProxy(const ChaosProxy&) = delete;
+    ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+    /// Binds and listens. False (reason in *error) on socket failure.
+    bool start(std::string* error = nullptr);
+
+    /// Closes the listener and every proxied pair.
+    void stop();
+
+    /// The bound port (after start()).
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+    /// One poll cycle: accept, shuttle, inject, flush. Returns the
+    /// number of fds with activity; blocks at most timeout_ms (less
+    /// when a stalled chunk's release is due sooner).
+    int poll_once(int timeout_ms);
+
+    /// Loops poll_once until `stop_flag` goes true. The short default
+    /// timeout keeps stall releases timely.
+    void run(const std::atomic<bool>& stop_flag, int timeout_ms = 5);
+
+    [[nodiscard]] const ChaosStats& stats() const { return stats_; }
+    [[nodiscard]] std::size_t active_pairs() const { return pairs_.size(); }
+
+private:
+    /// One forwarding direction of a proxied pair.
+    struct Direction {
+        std::string outbuf;
+        std::size_t pos = 0;
+        /// Nonzero epoch: the buffer is parked until this instant.
+        std::chrono::steady_clock::time_point hold_until{};
+        [[nodiscard]] bool pending() const { return pos < outbuf.size(); }
+    };
+
+    /// A client connection and its private upstream dial.
+    struct Pair {
+        int client_fd = -1;
+        int server_fd = -1;
+        Direction to_server; ///< client → server bytes
+        Direction to_client; ///< server → client bytes
+        bool draining = false; ///< one side EOFed: flush, then close both
+        int chunks_from_client = 0;
+    };
+
+    void accept_pending();
+    /// Reads one chunk from `from_client ? client : server` and routes
+    /// it through the fault injector. False: the pair must close now.
+    bool shuttle(Pair& pair, bool from_client);
+    /// Applies at most one fault to `chunk` and queues/flushes it.
+    /// False: the fault cut the pair.
+    bool inject(Pair& pair, bool from_client, std::string chunk);
+    void flush(Pair& pair, Direction& dir, int fd);
+    void close_pair(Pair& pair);
+
+    ChaosConfig config_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::vector<std::unique_ptr<Pair>> pairs_;
+    std::mt19937 rng_;
+    bool cut_fired_ = false; ///< disconnect_after_chunks is one-shot
+    ChaosStats stats_;
+};
+
+} // namespace gmdf::net

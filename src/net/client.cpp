@@ -7,7 +7,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "proto/message.hpp"
 
@@ -22,6 +24,36 @@ void set_nodelay(int fd) {
 
 void set_error(std::string* error, std::string what) {
     if (error != nullptr) *error = std::move(what);
+}
+
+/// Resolves and dials host:port; -1 with errno-flavoured *error on
+/// failure. Shared by the first connect and every redial.
+int dial(const std::string& host, std::uint16_t port, std::string* error) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+    if (rc != 0) {
+        set_error(error, "resolve " + host + ": " + gai_strerror(rc));
+        return -1;
+    }
+    int fd = -1;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        set_error(error, "connect " + host + ":" + std::to_string(port) + ": " +
+                             std::strerror(errno));
+        return -1;
+    }
+    set_nodelay(fd);
+    return fd;
 }
 
 } // namespace
@@ -44,33 +76,12 @@ bool split_host_port(std::string_view spec, std::string& host, std::uint16_t& po
 
 std::unique_ptr<Channel> Channel::connect(const std::string& host, std::uint16_t port,
                                           std::string* error) {
-    addrinfo hints{};
-    hints.ai_family = AF_INET;
-    hints.ai_socktype = SOCK_STREAM;
-    addrinfo* res = nullptr;
-    int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
-    if (rc != 0) {
-        set_error(error, "resolve " + host + ": " + gai_strerror(rc));
-        return nullptr;
-    }
-
-    int fd = -1;
-    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
-        fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
-        if (fd < 0) continue;
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-        ::close(fd);
-        fd = -1;
-    }
-    ::freeaddrinfo(res);
-    if (fd < 0) {
-        set_error(error, "connect " + host + ":" + std::to_string(port) + ": " +
-                             std::strerror(errno));
-        return nullptr;
-    }
-    set_nodelay(fd);
+    int fd = dial(host, port, error);
+    if (fd < 0) return nullptr;
 
     std::unique_ptr<Channel> channel(new Channel(fd));
+    channel->host_ = host;
+    channel->port_ = port;
     std::string handshake(kMagic);
     handshake += encode_frame(FrameType::Hello, hello_payload());
     if (!channel->send_all(handshake)) {
@@ -141,28 +152,29 @@ bool Channel::read_frame(Frame& out, std::string* error) {
     }
 }
 
-proto::Response Channel::execute_line(std::string_view line) {
+std::optional<proto::Response> Channel::roundtrip(std::string_view line,
+                                                  std::string* error) {
     auto transport_error = [](std::string message) {
         return proto::Response::make_error(proto::ErrorCode::Internal,
                                            "network: " + std::move(message));
     };
-    if (fd_ < 0) return transport_error("not connected");
-
-    // A caller that skipped drain_event_lines() leaves the previous
-    // request's tail on the wire; consume through its done marker first.
-    if (!last_done_) (void)drain_event_lines();
-
-    if (!send_all(encode_frame(FrameType::Request, line)))
-        return transport_error("send failed");
-
+    if (!send_all(encode_frame(FrameType::Request, line))) {
+        set_error(error, "send failed");
+        return std::nullopt;
+    }
     Frame frame;
-    std::string error;
+    std::string read_error;
     while (true) {
-        if (!read_frame(frame, &error)) return transport_error(error);
+        if (!read_frame(frame, &read_error)) {
+            set_error(error, read_error);
+            return std::nullopt;
+        }
         switch (frame.type) {
         case FrameType::Event:
             events_.push_back(std::move(frame.payload));
             break;
+        case FrameType::Ping:
+            break; // heartbeat echo arriving late; ignore
         case FrameType::Response: {
             auto resp = proto::parse_response(frame.payload);
             if (!resp.has_value())
@@ -171,6 +183,8 @@ proto::Response Channel::execute_line(std::string_view line) {
             return *resp;
         }
         case FrameType::Error:
+            // The server diagnosed us and will close; redialing with the
+            // same traffic would only repeat the offence — not retryable.
             shutdown();
             return transport_error("protocol error: " + frame.payload);
         case FrameType::Done:
@@ -180,6 +194,125 @@ proto::Response Channel::execute_line(std::string_view line) {
             return transport_error("unexpected frame from server");
         }
     }
+}
+
+void Channel::note_session(const proto::Response& resp) {
+    if (!resp.ok()) return;
+    for (const std::string& line : resp.body) {
+        std::string_view v(line);
+        if (v.starts_with("current ")) {
+            v.remove_prefix(8);
+            session_ = v == "(none)" ? std::string() : std::string(v);
+        } else if (v.starts_with("attached ")) {
+            v.remove_prefix(9);
+            session_ = std::string(v.substr(0, v.find(' ')));
+        }
+    }
+}
+
+bool Channel::reconnect_once() {
+    shutdown();
+    frames_ = FrameReader{1 << 20}; // a torn frame must not poison the redial
+    last_done_ = true;
+    int fd = dial(host_, port_, nullptr);
+    if (fd < 0) return false;
+    fd_ = fd;
+    std::string handshake(kMagic);
+    handshake += encode_frame(FrameType::Hello, hello_payload());
+    if (!send_all(handshake)) return false;
+    Frame reply;
+    if (!read_frame(reply, nullptr)) return false;
+    if (reply.type != FrameType::Hello ||
+        parse_hello(reply.payload) != kProtocolVersion) {
+        shutdown(); // includes a busy Error frame: the server shed us
+        return false;
+    }
+    // Resume where the old connection was: a fresh server context starts
+    // on the hub's root session, not ours.
+    if (!session_.empty()) {
+        std::optional<proto::Response> attached = roundtrip("attach " + session_,
+                                                            nullptr);
+        if (!attached.has_value()) return false;
+        if (!last_done_) (void)drain_event_lines();
+        // The session may be gone (closed while we were away): the
+        // channel is still usable, just unattached.
+        if (!attached->ok()) session_.clear();
+    }
+    return true;
+}
+
+bool Channel::try_reconnect() {
+    using clock = std::chrono::steady_clock;
+    const clock::time_point start = clock::now();
+    int delay = reconnect_.base_delay_ms;
+    for (int attempt = 0; attempt < reconnect_.max_attempts; ++attempt) {
+        if (attempt > 0) {
+            // Full jitter over [delay/2, delay]: deterministic per seed,
+            // decorrelated across clients.
+            jitter_state_ = jitter_state_ * 1664525u + 1013904223u;
+            int lo = delay / 2;
+            int span = delay - lo + 1;
+            int sleep_ms = lo + static_cast<int>(jitter_state_ %
+                                                 static_cast<std::uint32_t>(span));
+            std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+            delay = std::min(delay * 2, reconnect_.max_delay_ms);
+        }
+        if (reconnect_once()) {
+            ++reconnects_;
+            reconnect_time_us_ += std::chrono::duration_cast<std::chrono::microseconds>(
+                                      clock::now() - start)
+                                      .count();
+            return true;
+        }
+    }
+    return false;
+}
+
+proto::Response Channel::execute_line(std::string_view line) {
+    auto transport_error = [](std::string message) {
+        return proto::Response::make_error(proto::ErrorCode::Internal,
+                                           "network: " + std::move(message));
+    };
+    if (fd_ < 0 && !(reconnect_enabled_ && try_reconnect()))
+        return transport_error("not connected");
+
+    // A caller that skipped drain_event_lines() leaves the previous
+    // request's tail on the wire; consume through its done marker first.
+    if (!last_done_) (void)drain_event_lines();
+    if (fd_ < 0 && !(reconnect_enabled_ && try_reconnect()))
+        return transport_error("not connected");
+
+    std::string error;
+    std::optional<proto::Response> resp = roundtrip(line, &error);
+    if (!resp.has_value() && reconnect_enabled_ && try_reconnect()) {
+        // At-least-once: the cut may have landed after the server
+        // executed the request but before the response reached us — the
+        // retry re-runs it (see the class comment for why that is safe
+        // for fleet workloads).
+        resp = roundtrip(line, &error);
+    }
+    if (!resp.has_value())
+        return transport_error(error.empty() ? "send failed" : error);
+    note_session(*resp);
+    return *resp;
+}
+
+bool Channel::ping() {
+    if (fd_ < 0) return false;
+    if (!last_done_) (void)drain_event_lines();
+    if (fd_ < 0) return false;
+    if (!send_all(encode_frame(FrameType::Ping, "hb"))) return false;
+    Frame frame;
+    while (read_frame(frame, nullptr)) {
+        if (frame.type == FrameType::Ping) return true;
+        if (frame.type == FrameType::Event) {
+            events_.push_back(std::move(frame.payload));
+            continue;
+        }
+        break; // anything else out of band is a protocol violation
+    }
+    shutdown();
+    return false;
 }
 
 std::vector<std::string> Channel::drain_event_lines() {

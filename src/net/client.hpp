@@ -13,11 +13,23 @@
 // while its one outstanding request is in flight. Load generators that
 // want thousands of concurrent connections drive raw non-blocking
 // sockets with the codec directly (see bench/bench_p5_net.cpp).
+//
+// Resilience (opt-in via set_reconnect): when a send or read fails
+// mid-request, the channel redials with exponential backoff plus
+// deterministic jitter, re-shakes hands, re-attaches the session it was
+// last on (tracked from "current <name>"/"attached <name>" response
+// lines), and re-sends the failed request once. That is at-least-once
+// delivery — a request the server finished executing just before the
+// cut may run twice; the fleet protocol's verbs are either idempotent
+// or advance simulated time, which campaign workloads tolerate by
+// design. With reconnect off (the default) failures surface exactly as
+// before, as Internal error responses.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +41,18 @@ namespace gmdf::net {
 
 class Channel final : public proto::ScriptClient {
 public:
+    /// Automatic redial policy; disabled unless set_reconnect() is
+    /// called. Delays double from base to max per attempt, each with a
+    /// deterministic jitter drawn from jitter_seed (so two clients with
+    /// different seeds never stampede the server in lockstep, while a
+    /// given test run stays reproducible).
+    struct ReconnectConfig {
+        int max_attempts = 5;
+        int base_delay_ms = 10;
+        int max_delay_ms = 1000;
+        std::uint32_t jitter_seed = 1;
+    };
+
     /// Dials host:port (IPv4 dotted quad or name) and shakes hands.
     /// Null on failure, with the reason in *error when provided.
     static std::unique_ptr<Channel> connect(const std::string& host,
@@ -41,14 +65,36 @@ public:
     Channel& operator=(const Channel&) = delete;
 
     /// Sends one request and blocks for its response frame. Transport
-    /// failures surface as Internal error Responses, never exceptions.
+    /// failures surface as Internal error Responses, never exceptions —
+    /// unless reconnect is enabled, in which case the channel redials,
+    /// re-attaches, and retries the request once first.
     proto::Response execute_line(std::string_view line) override;
 
     /// Event lines for the last request (everything up to its done
     /// marker), plus any events the server pushed in between.
     std::vector<std::string> drain_event_lines() override;
 
+    /// Heartbeat: sends a Ping frame and blocks for the echo. False on
+    /// any transport failure (the connection is shut down; the next
+    /// execute_line reconnects when enabled).
+    bool ping();
+
     [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+    void set_reconnect(ReconnectConfig config) {
+        reconnect_ = config;
+        reconnect_enabled_ = true;
+        jitter_state_ = config.jitter_seed;
+    }
+
+    /// Successful redials so far, and the wall-clock total they took
+    /// (dial + handshake + re-attach) — the bench's resume latency.
+    [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+    [[nodiscard]] std::int64_t reconnect_time_us() const { return reconnect_time_us_; }
+
+    /// The session this channel last selected ("current"/"attached"
+    /// response lines); re-attached after a redial.
+    [[nodiscard]] const std::string& session() const { return session_; }
 
 private:
     explicit Channel(int fd) : fd_(fd) {}
@@ -57,11 +103,30 @@ private:
     /// Reads until a frame arrives; false on EOF/error.
     bool read_frame(Frame& out, std::string* error);
     void shutdown();
+    /// One request/response cycle with no redial logic. nullopt only on
+    /// a retryable transport failure (send/EOF/errno); protocol errors
+    /// come back as non-retryable error Responses.
+    std::optional<proto::Response> roundtrip(std::string_view line,
+                                             std::string* error);
+    /// Updates session_ from a successful response's body lines.
+    void note_session(const proto::Response& resp);
+    /// Redial + handshake + re-attach, once. False leaves fd_ closed.
+    bool reconnect_once();
+    /// Backoff loop over reconnect_once per the ReconnectConfig.
+    bool try_reconnect();
 
     int fd_ = -1;
+    std::string host_;
+    std::uint16_t port_ = 0;
     FrameReader frames_{1 << 20};
     std::deque<std::string> events_; ///< buffered event lines
     bool last_done_ = true; ///< done marker for the last request consumed
+    bool reconnect_enabled_ = false;
+    ReconnectConfig reconnect_;
+    std::uint32_t jitter_state_ = 1;
+    std::string session_;
+    std::uint64_t reconnects_ = 0;
+    std::int64_t reconnect_time_us_ = 0;
 };
 
 /// Splits "host:port"; false when the port is missing or malformed.

@@ -67,7 +67,7 @@ FrameReader::Status FrameReader::next(Frame& out) {
         return Status::NeedMore;
     char type = buf_[pos_ + 4];
     switch (type) {
-    case 'H': case 'Q': case 'R': case 'E': case 'D': case 'X': break;
+    case 'H': case 'Q': case 'R': case 'E': case 'D': case 'P': case 'X': break;
     default: {
         failed_ = true;
         unsigned char u = static_cast<unsigned char>(type);

@@ -19,6 +19,8 @@
 //   'R' response  one formatted response, possibly multi-line
 //   'E' event     one formatted event line
 //   'D' done      response + queued events for one request fully sent
+//   'P' ping      heartbeat; the server echoes it and refreshes the
+//                 connection's idle clock (either side may send one)
 //   'X' error     protocol violation; the sender closes after it
 //
 // Both decoders are incremental: bytes arrive in arbitrary slices
@@ -46,6 +48,7 @@ enum class FrameType : char {
     Response = 'R',
     Event = 'E',
     Done = 'D',
+    Ping = 'P',
     Error = 'X',
 };
 

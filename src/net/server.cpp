@@ -107,29 +107,48 @@ int Server::poll_once(int timeout_ms) {
     }
 
     int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (ready <= 0) return ready;
+    // EINTR is a signal, not a failure: report an idle cycle and let the
+    // caller's loop (gmdf_serve's run()) decide whether to keep going.
+    if (ready < 0) return errno == EINTR ? 0 : -1;
 
-    if ((fds[0].revents & POLLIN) != 0) accept_pending();
-
-    // Connections may be appended by accept_pending(); only the first
-    // fds.size()-1 existed when poll() sampled, and indices line up
-    // because closes are deferred to the sweep below.
     std::vector<std::size_t> dead;
-    for (std::size_t i = 1; i < fds.size(); ++i) {
-        Connection& conn = *connections_[i - 1];
-        short re = fds[i].revents;
-        if (re == 0) continue;
-        if ((re & (POLLERR | POLLNVAL)) != 0) {
-            dead.push_back(i - 1);
-            continue;
+    if (ready > 0) {
+        if ((fds[0].revents & POLLIN) != 0) accept_pending();
+
+        // Connections may be appended by accept_pending(); only the
+        // first fds.size()-1 existed when poll() sampled, and indices
+        // line up because closes are deferred to the sweep below.
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            Connection& conn = *connections_[i - 1];
+            short re = fds[i].revents;
+            if (re == 0) continue;
+            if ((re & (POLLERR | POLLNVAL)) != 0) {
+                dead.push_back(i - 1);
+                continue;
+            }
+            if ((re & POLLIN) != 0 && !read_connection(conn)) {
+                dead.push_back(i - 1);
+                continue;
+            }
+            if ((re & POLLHUP) != 0 && conn.out_pos >= conn.outbuf.size()) {
+                dead.push_back(i - 1);
+                continue;
+            }
         }
-        if ((re & POLLIN) != 0 && !read_connection(conn)) {
-            dead.push_back(i - 1);
-            continue;
-        }
-        if ((re & POLLHUP) != 0 && conn.out_pos >= conn.outbuf.size()) {
-            dead.push_back(i - 1);
-            continue;
+    }
+
+    // Idle sweep: runs on quiet cycles too — an abandoned connection
+    // with no traffic at all must still age out.
+    if (config_.idle_timeout_ms > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
+        for (std::size_t i = 0; i < connections_.size(); ++i) {
+            Connection& conn = *connections_[i];
+            if (conn.fd < 0 || conn.draining) continue;
+            if (now - conn.last_activity >= limit) {
+                ++stats_.idle_closed;
+                dead.push_back(i);
+            }
         }
     }
 
@@ -177,9 +196,18 @@ void Server::accept_pending() {
             std::make_unique<Connection>(config_.max_frame_payload, config_.max_line);
         conn->fd = fd;
         conn->id = next_conn_id_++;
+        conn->last_activity = std::chrono::steady_clock::now();
         // A fresh client starts on the same session the hub's own REPL
         // would: the seed (root) current.
         conn->ctx.current = hub_.root_context().current;
+        // Over the high-water mark the client is still owed a structured
+        // "busy" — which needs its codec, so the shed reply waits for
+        // the first bytes (magic or a line) before drain+close.
+        if (config_.accept_high_water > 0 &&
+            static_cast<int>(connections_.size()) >= config_.accept_high_water) {
+            conn->shed = true;
+            ++stats_.busy_shed;
+        }
         connections_.push_back(std::move(conn));
         ++stats_.accepted;
     }
@@ -192,6 +220,7 @@ bool Server::read_connection(Connection& conn) {
         if (n > 0) {
             conn.bytes_in += static_cast<std::uint64_t>(n);
             stats_.bytes_in += static_cast<std::uint64_t>(n);
+            conn.last_activity = std::chrono::steady_clock::now();
             switch (conn.mode) {
             case Connection::Mode::Detect:
                 conn.detect_buf.append(chunk, static_cast<std::size_t>(n));
@@ -229,6 +258,10 @@ bool Server::read_connection(Connection& conn) {
 }
 
 bool Server::process_input(Connection& conn) {
+    if (conn.shed && conn.mode != Connection::Mode::Detect) {
+        shed_busy(conn);
+        return false; // drain the busy reply, then close
+    }
     if (conn.mode == Connection::Mode::Frame) {
         Frame frame;
         while (true) {
@@ -256,6 +289,13 @@ bool Server::process_input(Connection& conn) {
                 }
                 conn.hello_done = true;
                 queue_bytes(conn, encode_frame(FrameType::Hello, hello_payload()));
+                continue;
+            }
+            if (frame.type == FrameType::Ping) {
+                // Heartbeat: echo the payload back; the recv already
+                // refreshed the idle clock, which is the point.
+                queue_bytes(conn, encode_frame(FrameType::Ping, frame.payload));
+                ++stats_.pings;
                 continue;
             }
             if (frame.type != FrameType::Request) {
@@ -373,6 +413,18 @@ bool Server::write_connection(Connection& conn) {
     return true;
 }
 
+void Server::shed_busy(Connection& conn) {
+    const std::string message =
+        "busy: server at its accept high-water mark (" +
+        std::to_string(config_.accept_high_water) + " connections); retry later";
+    if (conn.mode == Connection::Mode::Frame)
+        queue_bytes(conn, encode_frame(FrameType::Error, message));
+    else
+        queue_bytes(conn, proto::format_response(proto::Response::make_error(
+                              proto::ErrorCode::BadState, message)));
+    conn.draining = true;
+}
+
 void Server::protocol_error(Connection& conn, const std::string& message) {
     ++stats_.protocol_errors;
     if (conn.mode == Connection::Mode::Frame)
@@ -412,6 +464,13 @@ std::vector<std::string> Server::stats_lines() const {
             std::to_string(stats_.events_dropped),
         "net-protocol-errors " + std::to_string(stats_.protocol_errors),
     };
+    // Robustness counters appear only once nonzero, so pre-existing
+    // stats transcripts keep their shape.
+    if (stats_.pings > 0) body.push_back("net-pings " + std::to_string(stats_.pings));
+    if (stats_.idle_closed > 0)
+        body.push_back("net-idle-closed " + std::to_string(stats_.idle_closed));
+    if (stats_.busy_shed > 0)
+        body.push_back("net-busy-shed " + std::to_string(stats_.busy_shed));
     for (const auto& conn : connections_) {
         const char* codec = conn->mode == Connection::Mode::Frame  ? "frame"
                             : conn->mode == Connection::Mode::Line ? "line"

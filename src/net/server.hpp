@@ -29,6 +29,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -53,6 +54,16 @@ struct ServerConfig {
     /// Events parked per connection while fan-out is paused; beyond it
     /// the oldest drop, counted in the connection's events_dropped.
     std::size_t event_queue_capacity = 4096;
+    /// Close a connection after this long without client input; 0 (the
+    /// default) never idle-closes. Frame clients keep an idle connection
+    /// alive with heartbeat Ping frames (echoed by the server).
+    int idle_timeout_ms = 0;
+    /// Accept load-shed high-water mark: with at least this many live
+    /// connections, new clients get a structured "busy" reply in their
+    /// own codec and are closed instead of being serviced. 0 disables.
+    /// Distinct from max_connections, which refuses silently at the
+    /// accept itself (the hard fd ceiling).
+    int accept_high_water = 0;
 };
 
 /// Server-wide counters (per-connection ones live on the connection and
@@ -67,6 +78,9 @@ struct NetStats {
     std::uint64_t bytes_out = 0;
     std::uint64_t events_sent = 0;
     std::uint64_t events_dropped = 0; ///< backpressure drops, all connections
+    std::uint64_t pings = 0;          ///< heartbeat frames echoed
+    std::uint64_t idle_closed = 0;    ///< connections closed by the idle timeout
+    std::uint64_t busy_shed = 0;      ///< connections shed at the high-water mark
 };
 
 class Server {
@@ -116,6 +130,8 @@ private:
         std::deque<std::string> pending_events; ///< formatted lines awaiting flush
         hub::RouteContext ctx;
         bool draining = false; ///< close once outbuf flushes
+        bool shed = false;     ///< over the high-water mark: busy reply, then close
+        std::chrono::steady_clock::time_point last_activity{};
         std::uint64_t bytes_in = 0;
         std::uint64_t bytes_out = 0;
         std::uint64_t requests = 0;
@@ -138,6 +154,8 @@ private:
     void queue_bytes(Connection& conn, std::string_view bytes);
     bool write_connection(Connection& conn); ///< false: close it now
     void protocol_error(Connection& conn, const std::string& message);
+    /// Busy reply in the connection's detected codec, then drain+close.
+    void shed_busy(Connection& conn);
     void close_connection(std::size_t index);
 
     hub::HubController& hub_;

@@ -474,6 +474,20 @@ Response SessionController::cmd_query(const Request& req) {
                            std::to_string(ts.corrupt_frames) + " polls=" +
                            std::to_string(ts.polls));
         }
+        // Bounded-ring drop lines follow the cmd_trace convention:
+        // silent until something was actually evicted, so unbounded and
+        // quiet sessions keep their exact historical transcripts.
+        const core::DivergenceLog& dlog = session_->divergence_log();
+        if (dlog.dropped() > 0)
+            body.push_back("divergence-ring dropped " +
+                           std::to_string(dlog.dropped()) +
+                           " oldest entries (capacity " +
+                           std::to_string(dlog.capacity()) + ")");
+        if (timeline_ != nullptr && timeline_->journal_dropped() > 0)
+            body.push_back("journal-ring dropped " +
+                           std::to_string(timeline_->journal_dropped()) +
+                           " oldest entries (capacity " +
+                           std::to_string(timeline_->journal_capacity()) + ")");
         return Response::make_ok(std::move(body));
     }
 

@@ -52,6 +52,17 @@ public:
     /// describe).
     void drop_after(rt::SimTime t);
 
+    /// Drops checkpoints whose catch-up anchor predates `journal_index`
+    /// (the timeline's journal ring evicted the entries they replay
+    /// from, so restoring them could no longer catch up faithfully).
+    void drop_before_journal_index(std::size_t journal_index) {
+        while (!ring_.empty() && ring_.front().journal_index < journal_index) {
+            total_bytes_ -= ring_.front().snap.size_bytes();
+            ring_.pop_front();
+            ++evictions_;
+        }
+    }
+
     [[nodiscard]] std::optional<rt::SimTime> earliest_time() const {
         if (ring_.empty()) return std::nullopt;
         return ring_.front().snap.time;

@@ -30,12 +30,12 @@ const Checkpoint* Timeline::capture_now(std::string* error) {
     try {
         Checkpoint cp;
         cp.snap = capture_snapshot(*target_, *session_);
-        cp.journal_index = journal_.size();
+        cp.journal_index = journal_base_ + journal_.size();
         // A trailing run entry is still open — sync_journal extends it in
         // place as time advances past this capture — so catch-up must
         // start AT it; replay clamps its span to [cp.time, t].
         if (!journal_.empty() && journal_.back().is_run)
-            cp.journal_index = journal_.size() - 1;
+            cp.journal_index -= 1;
         store_.add(std::move(cp));
         return &store_.entries().back();
     } catch (const std::runtime_error& e) {
@@ -68,6 +68,29 @@ void Timeline::advance(rt::SimTime duration) {
     sync_journal();
 }
 
+void Timeline::set_journal_capacity(std::size_t capacity) {
+    journal_capacity_ = capacity;
+    while (journal_capacity_ != 0 && journal_.size() > journal_capacity_) {
+        journal_.pop_front();
+        ++journal_base_;
+        ++journal_dropped_;
+    }
+    store_.drop_before_journal_index(journal_base_);
+}
+
+void Timeline::append_journal(JournalEntry e) {
+    if (journal_capacity_ != 0 && journal_.size() >= journal_capacity_) {
+        journal_.pop_front();
+        ++journal_base_;
+        ++journal_dropped_;
+        // Checkpoints anchored before the surviving window can no longer
+        // catch up — rewind past them now refuses with its usual
+        // out-of-range/no-checkpoint error instead of replaying wrong.
+        store_.drop_before_journal_index(journal_base_);
+    }
+    journal_.push_back(std::move(e));
+}
+
 void Timeline::sync_journal() {
     rt::SimTime now = target_->sim().now();
     if (now <= journal_time_) return;
@@ -78,7 +101,7 @@ void Timeline::sync_journal() {
         e.at = journal_time_;
         e.is_run = true;
         e.run_to = now;
-        journal_.push_back(std::move(e));
+        append_journal(std::move(e));
     }
     journal_time_ = now;
 }
@@ -88,7 +111,7 @@ void Timeline::note_control(ControlOp op) {
     JournalEntry e;
     e.at = target_->sim().now();
     e.op = std::move(op);
-    journal_.push_back(std::move(e));
+    append_journal(std::move(e));
 }
 
 void Timeline::note_pause() { note_control({ControlOp::Kind::Pause, {}, 0, {}}); }
@@ -160,11 +183,14 @@ Timeline::ReplayStop Timeline::replay_span(const Checkpoint& cp, rt::SimTime t,
     if (extra != nullptr) engine.add_observer(extra);
 
     restore_snapshot(cp.snap, *target_, *session_);
+    // journal_index is absolute; the ring holds [journal_base_, base +
+    // size). Checkpoints stranded below the window are dropped at
+    // eviction time, so the start is always inside it.
     std::size_t i = cp.journal_index;
     rt::SimTime cur = cp.snap.time;
     bool partial = false;
-    while (i < journal_.size()) {
-        const JournalEntry& e = journal_[i];
+    while (i - journal_base_ < journal_.size()) {
+        const JournalEntry& e = journal_[i - journal_base_];
         if (e.is_run) {
             rt::SimTime to = std::min(e.run_to, t);
             if (to > cur) {
@@ -216,7 +242,8 @@ std::optional<NavError> Timeline::rewind_to(rt::SimTime t) {
     ReplayStop stop = replay_span(*cp, t, nullptr);
 
     // The future past t is now abandoned history: drop it everywhere.
-    journal_.resize(stop.partial_run ? stop.next_entry + 1 : stop.next_entry);
+    journal_.resize((stop.partial_run ? stop.next_entry + 1 : stop.next_entry) -
+                    journal_base_);
     if (stop.partial_run) journal_.back().run_to = t;
     journal_time_ = t;
     session_->trace_recorder().truncate_after(t);

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -135,6 +136,16 @@ public:
 
     [[nodiscard]] std::size_t journal_size() const { return journal_.size(); }
 
+    /// Journal ring capacity in entries; 0 records unbounded. Like the
+    /// trace ring, the oldest entries are evicted past it — checkpoints
+    /// whose catch-up window they anchored are dropped with them, which
+    /// shrinks how far back rewind can reach (never its correctness).
+    void set_journal_capacity(std::size_t capacity);
+    [[nodiscard]] std::size_t journal_capacity() const { return journal_capacity_; }
+
+    /// Journal entries evicted because the ring was full.
+    [[nodiscard]] std::uint64_t journal_dropped() const { return journal_dropped_; }
+
     // ---- navigation --------------------------------------------------------
 
     /// Rewinds the session to sim time `t`. Returns the refusal, or
@@ -161,6 +172,9 @@ private:
     /// scheduler pumps, direct target runs).
     void sync_journal();
     void note_control(ControlOp op);
+    /// Appends under the ring capacity: evicts the oldest entry (and any
+    /// checkpoint stranded before the new window) when full.
+    void append_journal(JournalEntry e);
     [[nodiscard]] bool transports_replay_safe(std::string* who) const;
     NavError out_of_range(std::string detail) const;
 
@@ -175,7 +189,13 @@ private:
     rt::Target* target_;
     core::DebugSession* session_;
     CheckpointStore store_;
-    std::vector<JournalEntry> journal_;
+    /// Journal ring. Checkpoint.journal_index stays an *absolute* index
+    /// (entries ever appended); journal_base_ is the absolute index of
+    /// journal_.front(), so eviction never invalidates stored indices.
+    std::deque<JournalEntry> journal_;
+    std::size_t journal_base_ = 0;
+    std::size_t journal_capacity_ = 65536;
+    std::uint64_t journal_dropped_ = 0;
     rt::SimTime journal_time_ = 0;
     rt::SimTime auto_period_ = 0;
     rt::SimTime next_capture_ = 0;

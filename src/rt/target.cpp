@@ -307,6 +307,19 @@ void Target::start() {
     for (auto& n : nodes_) n->start_tasks();
 }
 
+void Target::run_for(SimTime duration) {
+    SimTime horizon = sim_.now() + duration;
+    if (fault_at_ >= 0 && fault_at_ <= horizon) {
+        SimTime at = fault_at_;
+        if (at > sim_.now()) sim_.run_until(at);
+        fault_at_ = -1; // one-shot: a revived session runs clean
+        std::string message = std::move(fault_message_);
+        fault_message_.clear();
+        throw std::runtime_error(message.empty() ? "injected fault" : message);
+    }
+    sim_.run_until(horizon);
+}
+
 std::uint64_t Target::total_instr_cycles() const {
     std::uint64_t total = 0;
     for (const auto& n : nodes_) total += n->instr_cycles();

@@ -278,8 +278,22 @@ public:
     /// Call exactly once, before running the simulator.
     void start();
 
-    /// Runs the simulation forward by `duration`.
-    void run_for(SimTime duration) { sim_.run_until(sim_.now() + duration); }
+    /// Runs the simulation forward by `duration`. With a fault armed
+    /// (inject_fault_at) whose instant falls inside the span, runs up to
+    /// that instant, disarms the hook, and throws std::runtime_error.
+    void run_for(SimTime duration);
+
+    /// Arms a one-shot deterministic fault: the first run_for whose span
+    /// reaches `at` advances the clock to `at` and throws `message` as a
+    /// std::runtime_error. Testing/chaos hook for the hub's session
+    /// crash isolation; one-shot so a revived session runs clean, and
+    /// deliberately NOT serialized into snapshots (a restored timeline
+    /// replays the healthy execution).
+    void inject_fault_at(SimTime at, std::string message) {
+        fault_at_ = at;
+        fault_message_ = std::move(message);
+    }
+    [[nodiscard]] bool fault_armed() const { return fault_at_ >= 0; }
 
     /// Target halt control (what a JTAG halt / model-level breakpoint
     /// does): while paused, task releases are suppressed.
@@ -361,6 +375,8 @@ private:
     UartModel uart_;
     ByteSink debug_sink_;
     bool started_ = false;
+    SimTime fault_at_ = -1; ///< armed one-shot fault instant; -1: disarmed
+    std::string fault_message_;
     bool paused_ = false;
     bool single_step_ = false;
     std::string step_filter_;

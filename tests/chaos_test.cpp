@@ -1,0 +1,448 @@
+// Fault-tolerance tests: session crash isolation (a crashing neighbor
+// leaves survivor transcripts byte-identical), watchdog quarantine of
+// runaway sessions, `session revive` checkpoint restore, the hardened
+// network layer (mid-request disconnects, idle timeouts with heartbeat
+// keep-alive, accept load-shed), torn-frame-then-reconnect session
+// resume through net::ChaosProxy, a seeded 10%-fault chaos campaign,
+// and the bounded divergence/journal rings.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "campaign/chaos.hpp"
+#include "core/observer.hpp"
+#include "hub/controller.hpp"
+#include "net/chaos.hpp"
+#include "net/client.hpp"
+#include "net/codec.hpp"
+#include "net/server.hpp"
+#include "proto/scenarios.hpp"
+#include "proto/script.hpp"
+#include "replay/timeline.hpp"
+#include "rt/target.hpp"
+
+namespace gc = gmdf::campaign;
+namespace gh = gmdf::hub;
+namespace gn = gmdf::net;
+namespace gp = gmdf::proto;
+namespace gr = gmdf::rt;
+
+namespace {
+
+// ---- session crash isolation ------------------------------------------------
+
+/// Runs the same two-session fleet workload, optionally arming a crash
+/// in session b at 30 ms, and returns the transcript of the a-addressed
+/// script plus b's final health.
+struct FleetRun {
+    std::string transcript;
+    bool b_faulted = false;
+    std::string b_reason;
+};
+
+void run_fleet(bool arm_fault, FleetRun& result) {
+    gh::HubController hub;
+    ASSERT_NE(hub.open("blinker", "a"), nullptr) << "open a";
+    gh::SessionRegistry::Entry* b = hub.open("blinker", "b");
+    ASSERT_NE(b, nullptr) << "open b";
+    if (arm_fault)
+        b->scenario->target.inject_fault_at(30 * gr::kMs, "injected crash");
+
+    // Every `run` pumps the whole fleet, so b crashes in the middle of
+    // a's second run when armed.
+    std::istringstream script("@a run 20\n"
+                              "@a query signal led\n"
+                              "@a run 20\n"
+                              "@a query signal led\n"
+                              "@a run 20\n"
+                              "@a query stats\n");
+    std::ostringstream out;
+    (void)gp::run_script(hub, script, out);
+
+    result.transcript = out.str();
+    result.b_faulted = b->faulted();
+    result.b_reason = b->fault_reason;
+}
+
+TEST(CrashIsolation, NeighborCrashLeavesSurvivorTranscriptByteIdentical) {
+    FleetRun control;
+    FleetRun chaotic;
+    run_fleet(false, control);
+    run_fleet(true, chaotic);
+
+    EXPECT_FALSE(control.b_faulted);
+    ASSERT_TRUE(chaotic.b_faulted) << "armed fault never fired";
+    EXPECT_NE(chaotic.b_reason.find("injected crash"), std::string::npos)
+        << chaotic.b_reason;
+    // The whole point: a's transcript does not depend on whether its
+    // neighbor crashed.
+    ASSERT_FALSE(control.transcript.empty());
+    EXPECT_EQ(control.transcript, chaotic.transcript);
+}
+
+TEST(CrashIsolation, FaultedSessionIsRefusedListedAndRevivable) {
+    gh::HubController hub;
+    gh::SessionRegistry::Entry* a = hub.open("blinker", "a");
+    ASSERT_NE(a, nullptr);
+
+    ASSERT_TRUE(hub.execute_line("@a run 100").ok());
+    ASSERT_TRUE(hub.execute_line("@a checkpoint now").ok());
+    (void)hub.drain_event_lines();
+
+    a->scenario->target.inject_fault_at(150 * gr::kMs, "boom");
+    gp::Response crash = hub.execute_line("@a run 100");
+    ASSERT_TRUE(crash.ok()); // the request survives; the body reports the fault
+    ASSERT_FALSE(crash.body.empty());
+    EXPECT_NE(crash.body.back().find("! session a faulted: boom"), std::string::npos)
+        << crash.body.back();
+    ASSERT_TRUE(a->faulted());
+
+    // Quarantined: routing refuses, the listing shows the fault.
+    gp::Response refused = hub.execute_line("@a query signal led");
+    ASSERT_FALSE(refused.ok());
+    EXPECT_NE(refused.message.find("faulted"), std::string::npos) << refused.message;
+    gp::Response list = hub.execute_line("session list");
+    ASSERT_TRUE(list.ok());
+    bool listed = false;
+    for (const std::string& line : list.body)
+        listed = listed || line.find("FAULTED: boom") != std::string::npos;
+    EXPECT_TRUE(listed);
+    gp::Response stats = hub.execute_line("session stats");
+    ASSERT_TRUE(stats.ok());
+    ASSERT_GT(stats.body.size(), 1u);
+    EXPECT_EQ(stats.body[1], "sessions-faulted 1");
+
+    // Revive restores the checkpoint captured at 100 ms and lifts the
+    // quarantine; the one-shot fault is spent, so the session runs on.
+    gp::Response revive = hub.execute_line("session revive a");
+    ASSERT_TRUE(revive.ok()) << revive.message;
+    ASSERT_GE(revive.body.size(), 2u);
+    EXPECT_NE(revive.body[0].find("revived (was: boom)"), std::string::npos)
+        << revive.body[0];
+    EXPECT_NE(revive.body[1].find("restored checkpoint at 100 ms"), std::string::npos)
+        << revive.body[1];
+    EXPECT_FALSE(a->faulted());
+    EXPECT_EQ(a->scenario->target.sim().now(), 100 * gr::kMs);
+    EXPECT_TRUE(hub.execute_line("@a run 100").ok());
+    EXPECT_TRUE(hub.execute_line("@a query signal led").ok());
+
+    // Reviving a live session is a BadState, not a crash.
+    EXPECT_FALSE(hub.execute_line("session revive a").ok());
+}
+
+// ---- pump watchdog ----------------------------------------------------------
+
+TEST(Watchdog, RunawaySessionIsQuarantinedAfterMaxStrikes) {
+    gh::SessionRegistry registry;
+    gh::SessionRegistry::Entry* a = registry.open("blinker", "a");
+    ASSERT_NE(a, nullptr);
+
+    gh::PollScheduler sched;
+    // A 500 ms slice executes thousands of engine steps — reliably over
+    // a 1 us wall deadline on any host.
+    sched.set_budget(500 * gr::kMs);
+    gh::WatchdogConfig wd;
+    wd.slice_limit_us = 1;
+    wd.max_strikes = 2;
+    sched.set_watchdog(wd);
+
+    sched.pump(registry, 3000 * gr::kMs);
+    ASSERT_TRUE(a->faulted());
+    EXPECT_TRUE(a->runaway);
+    EXPECT_NE(a->fault_reason.find("watchdog"), std::string::npos) << a->fault_reason;
+    EXPECT_GE(sched.watchdog_stats().overruns, 2u);
+    EXPECT_EQ(sched.watchdog_stats().runaways, 1u);
+
+    // Quarantined for good: pumping again touches it no further.
+    const std::string reason = a->fault_reason;
+    sched.pump(registry, 1000 * gr::kMs);
+    EXPECT_EQ(a->fault_reason, reason);
+}
+
+TEST(Watchdog, ShardedPumpQuarantinesRunawayAndSurvivorsKeepRunning) {
+    gh::HubController hub;
+    gh::SessionRegistry::Entry* a = hub.open("blinker", "a");
+    gh::SessionRegistry::Entry* b = hub.open("blinker", "b");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+
+    hub.scheduler().set_threads(2);
+    hub.scheduler().set_budget(500 * gr::kMs);
+    gh::WatchdogConfig wd;
+    wd.slice_limit_us = 1;
+    wd.max_strikes = 1;
+    hub.scheduler().set_watchdog(wd);
+
+    // Both sessions blow the 1 us deadline on their first slice: the
+    // whole fleet quarantines, and the stats lines say so.
+    ASSERT_TRUE(hub.execute_line("@a run 1000").ok());
+    EXPECT_TRUE(a->faulted());
+    EXPECT_TRUE(b->faulted());
+    EXPECT_TRUE(a->runaway);
+
+    gp::Response shards = hub.execute_line("session stats shards");
+    ASSERT_TRUE(shards.ok());
+    bool watchdog_line = false;
+    for (const std::string& line : shards.body)
+        watchdog_line = watchdog_line ||
+                        (line.find("watchdog limit 1 us") != std::string::npos &&
+                         line.find("runaways 2") != std::string::npos);
+    EXPECT_TRUE(watchdog_line) << "no watchdog summary in session stats shards";
+
+    // Revive under a sane watchdog: the fleet runs again.
+    gh::WatchdogConfig off;
+    hub.scheduler().set_watchdog(off);
+    ASSERT_TRUE(hub.execute_line("session revive a").ok());
+    ASSERT_TRUE(hub.execute_line("session revive b").ok());
+    EXPECT_TRUE(hub.execute_line("@a run 100").ok());
+}
+
+// ---- network hardening ------------------------------------------------------
+
+class ChaosServer {
+public:
+    explicit ChaosServer(gn::ServerConfig config = {}) {
+        EXPECT_NE(hub.open("blinker", "s"), nullptr);
+        server.emplace(hub, std::move(config));
+        std::string error;
+        if (!server->start(&error)) ADD_FAILURE() << "start: " << error;
+        thread = std::thread([this] { server->run(stop_flag, /*timeout_ms=*/5); });
+    }
+
+    ~ChaosServer() { join(); }
+
+    void join() {
+        if (!thread.joinable()) return;
+        stop_flag.store(true);
+        thread.join();
+    }
+
+    [[nodiscard]] std::uint16_t port() const { return server->port(); }
+
+    gh::HubController hub;
+    std::optional<gn::Server> server;
+    std::atomic<bool> stop_flag{false};
+    std::thread thread;
+};
+
+int raw_dial(std::uint16_t port) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    timeval tv{5, 0};
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return fd;
+}
+
+void raw_send(int fd, std::string_view bytes) {
+    while (!bytes.empty()) {
+        ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+        ASSERT_GT(n, 0) << std::strerror(errno);
+        bytes.remove_prefix(static_cast<std::size_t>(n));
+    }
+}
+
+TEST(NetHardening, MidRequestDisconnectLeavesServerServing) {
+    ChaosServer srv;
+
+    // A client that handshakes, starts a request frame — 64 bytes
+    // promised, 5 delivered — and vanishes.
+    int fd = raw_dial(srv.port());
+    raw_send(fd, std::string(gn::kMagic) +
+                     gn::encode_frame(gn::FrameType::Hello, gn::hello_payload()));
+    char buf[256];
+    ASSERT_GT(::recv(fd, buf, sizeof(buf), 0), 0); // hello reply
+    std::string torn = gn::encode_frame(gn::FrameType::Request, std::string(63, 'q'));
+    raw_send(fd, torn.substr(0, 9));
+    ::close(fd);
+
+    // The server shrugs it off and keeps serving new clients.
+    std::string error;
+    auto channel = gn::Channel::connect("127.0.0.1", srv.port(), &error);
+    ASSERT_NE(channel, nullptr) << error;
+    gp::Response resp = channel->execute_line("attach s");
+    EXPECT_TRUE(resp.ok()) << resp.message;
+    EXPECT_TRUE(channel->execute_line("query signal led").ok());
+    (void)channel->drain_event_lines();
+
+    srv.join();
+    EXPECT_GE(srv.server->stats().accepted, 2u);
+    EXPECT_EQ(srv.server->stats().protocol_errors, 0u)
+        << "a mid-frame EOF is a disconnect, not a protocol offence";
+}
+
+TEST(NetHardening, IdleTimeoutClosesSilentConnectionButPingKeepsAlive) {
+    gn::ServerConfig config;
+    config.idle_timeout_ms = 60;
+    ChaosServer srv(config);
+
+    auto quiet = gn::Channel::connect("127.0.0.1", srv.port());
+    auto beating = gn::Channel::connect("127.0.0.1", srv.port());
+    ASSERT_NE(quiet, nullptr);
+    ASSERT_NE(beating, nullptr);
+
+    // 200 ms of silence from `quiet`; `beating` heartbeats through it.
+    for (int i = 0; i < 10; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        EXPECT_TRUE(beating->ping()) << "heartbeat " << i;
+    }
+    EXPECT_TRUE(beating->execute_line("query signal led").ok());
+    gp::Response dead = quiet->execute_line("query signal led");
+    EXPECT_FALSE(dead.ok()) << "idle connection outlived its timeout";
+
+    srv.join();
+    EXPECT_GE(srv.server->stats().idle_closed, 1u);
+    EXPECT_GE(srv.server->stats().pings, 10u);
+}
+
+TEST(NetHardening, AcceptHighWaterShedsWithStructuredBusy) {
+    gn::ServerConfig config;
+    config.accept_high_water = 1;
+    ChaosServer srv(config);
+
+    auto first = gn::Channel::connect("127.0.0.1", srv.port());
+    ASSERT_NE(first, nullptr);
+    ASSERT_TRUE(first->execute_line("query signal led").ok());
+
+    std::string error;
+    auto shed = gn::Channel::connect("127.0.0.1", srv.port(), &error);
+    EXPECT_EQ(shed, nullptr);
+    EXPECT_NE(error.find("busy"), std::string::npos) << error;
+
+    // The first client is unaffected by the shed.
+    EXPECT_TRUE(first->execute_line("query signal led").ok());
+    (void)first->drain_event_lines();
+
+    srv.join();
+    EXPECT_GE(srv.server->stats().busy_shed, 1u);
+}
+
+// ---- chaos proxy ------------------------------------------------------------
+
+TEST(ChaosProxy, TornFrameThenReconnectResumesSession) {
+    ChaosServer srv;
+
+    gn::ChaosConfig chaos;
+    chaos.upstream_port = srv.port();
+    // Chunk 1 is the handshake, chunk 2 the attach, so the first query
+    // is torn in half and cut.
+    chaos.disconnect_after_chunks = 3;
+    gn::ChaosProxy proxy(chaos);
+    std::string error;
+    ASSERT_TRUE(proxy.start(&error)) << error;
+    std::atomic<bool> stop{false};
+    std::thread proxy_thread([&] { proxy.run(stop); });
+
+    auto channel = gn::Channel::connect("127.0.0.1", proxy.port(), &error);
+    ASSERT_NE(channel, nullptr) << error;
+    gn::Channel::ReconnectConfig rc;
+    rc.max_attempts = 5;
+    rc.base_delay_ms = 2;
+    rc.jitter_seed = 7;
+    channel->set_reconnect(rc);
+
+    ASSERT_TRUE(channel->execute_line("attach s").ok());
+    EXPECT_EQ(channel->session(), "s");
+
+    // This request's frame is half-delivered to the server, then the
+    // connection is cut under us: the channel must redial, re-attach,
+    // and answer as if nothing happened.
+    gp::Response resumed = channel->execute_line("query signal led");
+    EXPECT_TRUE(resumed.ok()) << resumed.message;
+    (void)channel->drain_event_lines();
+    EXPECT_EQ(channel->reconnects(), 1u);
+    EXPECT_GT(channel->reconnect_time_us(), 0);
+    EXPECT_EQ(channel->session(), "s") << "session not re-attached after redial";
+    EXPECT_TRUE(channel->execute_line("query signal led").ok());
+    (void)channel->drain_event_lines();
+
+    EXPECT_EQ(proxy.stats().torn, 1u);
+    stop.store(true);
+    proxy_thread.join();
+    srv.join();
+    // The half frame the server received must not have counted as a
+    // client offence (it was a clean EOF after a torn prefix).
+    EXPECT_EQ(srv.server->stats().protocol_errors, 0u);
+}
+
+TEST(ChaosCampaign, TenPercentFaultsZeroHubCrashesZeroUnclassified) {
+    gc::ChaosCampaignConfig cfg;
+    cfg.clients = 10;
+    cfg.rounds = 4;
+    cfg.seed = 5;
+    cfg.fault_rate = 0.10;
+    const gc::ChaosReport report = gc::run_chaos_campaign(cfg);
+
+    EXPECT_EQ(report.unclassified(), 0);
+    EXPECT_TRUE(report.hub_alive);
+    EXPECT_TRUE(report.passed());
+    EXPECT_EQ(static_cast<int>(report.clients.size()), cfg.clients);
+    EXPECT_GT(report.proxy_stats.chunks, 0u);
+    EXPECT_EQ(report.server_stats.refused, 0u);
+    // The report renders without tripping anything.
+    EXPECT_FALSE(report.summary_lines().empty());
+}
+
+// ---- bounded rings ----------------------------------------------------------
+
+TEST(BoundedRings, DivergenceLogEvictsOldestAndCounts) {
+    gmdf::core::DivergenceLog log;
+    log.set_capacity(3);
+    for (int i = 0; i < 8; ++i) {
+        gmdf::core::Divergence d;
+        d.t = i * gr::kMs;
+        d.message = "d" + std::to_string(i);
+        log.on_divergence(d);
+    }
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.dropped(), 5u);
+    EXPECT_EQ(log.divergences().front().message, "d5");
+    EXPECT_EQ(log.divergences().back().message, "d7");
+    log.clear();
+    EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(BoundedRings, TimelineJournalEvictsAndSurfacesInQueryStats) {
+    auto scenario = gp::make_scenario("blinker");
+    ASSERT_NE(scenario, nullptr);
+    scenario->timeline->set_journal_capacity(4);
+
+    // Consecutive runs coalesce into one open journal entry, so
+    // interleave control ops — each pause/resume journals separately.
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(scenario->controller().execute_line("run 10").ok());
+        ASSERT_TRUE(scenario->controller().execute_line("pause").ok());
+        ASSERT_TRUE(scenario->controller().execute_line("resume").ok());
+    }
+    ASSERT_GT(scenario->timeline->journal_dropped(), 0u);
+
+    gp::Response stats = scenario->controller().execute_line("query stats");
+    ASSERT_TRUE(stats.ok());
+    bool surfaced = false;
+    for (const std::string& line : stats.body)
+        surfaced = surfaced || line.find("journal-ring dropped") != std::string::npos;
+    EXPECT_TRUE(surfaced) << "journal drops invisible in query stats";
+
+    // The bounded journal still replays what it kept: a rewind to the
+    // most recent checkpoint must succeed.
+    EXPECT_TRUE(scenario->controller().execute_line("checkpoint now").ok());
+    EXPECT_TRUE(scenario->controller().execute_line("run 10").ok());
+    EXPECT_TRUE(scenario->controller().execute_line("rewind 80").ok());
+}
+
+} // namespace

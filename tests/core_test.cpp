@@ -170,7 +170,7 @@ struct EngineFixture {
         engine.add_observer(&log);
     }
 
-    [[nodiscard]] const std::vector<gco::Divergence>& divergences() const {
+    [[nodiscard]] const std::deque<gco::Divergence>& divergences() const {
         return log.divergences();
     }
 

@@ -323,7 +323,7 @@ TEST(HubStats, HelpMergesSessionAndHubRegistries) {
     EXPECT_TRUE(has_run_row);
     auto topic = hub.execute_line("help session");
     ASSERT_TRUE(topic.ok());
-    EXPECT_EQ(topic.body.size(), 5u);
+    EXPECT_EQ(topic.body.size(), 6u); // open/close/list/use/revive/stats
 }
 
 // ---- bounded trace recorder -------------------------------------------------

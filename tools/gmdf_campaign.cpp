@@ -2,17 +2,26 @@
 //
 //   gmdf_campaign [--pairs N] [--seed S] [--wave W] [--threads N|-j N]
 //                 [--json] [--verbose]
+//   gmdf_campaign --chaos [--pairs N] [--seed S] [--fault-rate F]
+//                 [--rounds N] [--verbose]
 //
-// Generates N seeded (model, injected-fault) pairs, runs each as twin
-// fleet sessions with a differential check, localizes every detected
-// divergence (replay bisect, twin-trace diff fallback), and prints the
-// per-fault-kind report. Exit status 0 iff every pair classified
-// (localized / clean / skipped) — CI's campaign gate.
+// Default mode generates N seeded (model, injected-fault) pairs, runs
+// each as twin fleet sessions with a differential check, localizes
+// every detected divergence (replay bisect, twin-trace diff fallback),
+// and prints the per-fault-kind report. Exit status 0 iff every pair
+// classified (localized / clean / skipped) — CI's campaign gate.
+//
+// --chaos turns the campaign on the debug service itself: a live hub +
+// TCP server behind a seeded fault-injecting proxy, N reconnecting
+// clients (--pairs) driving .gds workloads at --fault-rate (a fraction;
+// 0.1 faults 10% of forwarded chunks). Exit status 0 iff the hub
+// survives and every client classifies — CI's chaos gate.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "campaign/chaos.hpp"
 #include "campaign/runner.hpp"
 
 namespace {
@@ -40,15 +49,35 @@ void print_json(const gmdf::campaign::CampaignReport& report) {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--pairs N] [--seed S] [--wave W] [--threads N|-j N] "
-                 "[--json] [--verbose]\n",
-                 argv0);
+                 "[--json] [--verbose]\n"
+                 "       %s --chaos [--pairs N] [--seed S] [--fault-rate F] "
+                 "[--rounds N] [--verbose]\n",
+                 argv0, argv0);
     return 2;
+}
+
+int run_chaos(const gmdf::campaign::ChaosCampaignConfig& cfg, bool verbose) {
+    const gmdf::campaign::ChaosReport report = gmdf::campaign::run_chaos_campaign(cfg);
+    if (verbose) {
+        for (const auto& c : report.clients)
+            std::printf("client %d %s: %llu requests %llu errors %llu reconnects%s%s\n",
+                        c.index, gmdf::campaign::to_string(c.outcome),
+                        static_cast<unsigned long long>(c.requests),
+                        static_cast<unsigned long long>(c.errors),
+                        static_cast<unsigned long long>(c.reconnects),
+                        c.detail.empty() ? "" : " — ", c.detail.c_str());
+    }
+    for (const std::string& line : report.summary_lines())
+        std::printf("%s\n", line.c_str());
+    return report.passed() ? 0 : 1;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
     gmdf::campaign::CampaignConfig cfg;
+    gmdf::campaign::ChaosCampaignConfig chaos_cfg;
+    bool chaos = false;
     bool json = false;
     bool verbose = false;
 
@@ -60,14 +89,29 @@ int main(int argc, char** argv) {
             long v = std::strtol(argv[++i], &end, 10);
             return (end == nullptr || *end != '\0') ? min_v - 1 : v;
         };
-        if (arg == "--pairs") {
+        if (arg == "--chaos") {
+            chaos = true;
+        } else if (arg == "--fault-rate") {
+            if (i + 1 >= argc) return usage(argv[0]);
+            char* end = nullptr;
+            double v = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' || v < 0.0 || v > 1.0)
+                return usage(argv[0]);
+            chaos_cfg.fault_rate = v;
+        } else if (arg == "--rounds") {
+            long v = next_int(1);
+            if (v < 1) return usage(argv[0]);
+            chaos_cfg.rounds = static_cast<int>(v);
+        } else if (arg == "--pairs") {
             long v = next_int(1);
             if (v < 1) return usage(argv[0]);
             cfg.pairs = static_cast<int>(v);
+            chaos_cfg.clients = static_cast<int>(v);
         } else if (arg == "--seed") {
             long v = next_int(0);
             if (v < 0) return usage(argv[0]);
             cfg.seed = static_cast<std::uint32_t>(v);
+            chaos_cfg.seed = static_cast<std::uint32_t>(v);
         } else if (arg == "--wave") {
             long v = next_int(1);
             if (v < 1) return usage(argv[0]);
@@ -84,6 +128,8 @@ int main(int argc, char** argv) {
             return usage(argv[0]);
         }
     }
+
+    if (chaos) return run_chaos(chaos_cfg, verbose);
 
     const gmdf::campaign::CampaignReport report = gmdf::campaign::run_campaign(cfg);
 

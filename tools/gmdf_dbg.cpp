@@ -120,6 +120,13 @@ int main(int argc, char** argv) {
             std::cerr << "gmdf_dbg: " << error << "\n";
             return 2;
         }
+        // A dropped server connection redials with backoff and re-attaches
+        // the current session instead of failing the rest of the script.
+        gmdf::net::Channel::ReconnectConfig rc;
+        rc.max_attempts = 5;
+        rc.base_delay_ms = 50;
+        rc.max_delay_ms = 1000;
+        channel->set_reconnect(rc);
         return run(*channel, script_path,
                    "gmdf_dbg: connected to " + connect_spec +
                        " ('help' lists verbs)\n");

@@ -33,7 +33,9 @@ void handle_signal(int) { g_stop.store(true); }
 
 int usage(std::ostream& out, int code) {
     out << "usage: gmdf_serve [--model <name>] [--host <addr>] [--port <n>] "
-           "[--max-conn <n>] [--threads <n>]\n\n"
+           "[--max-conn <n>] [--threads <n>]\n"
+           "                  [--idle-timeout-ms <n>] [--accept-high-water <n>] "
+           "[--watchdog-us <n>] [--watchdog-strikes <n>]\n\n"
         << "Serves a GMDF debug hub over TCP (frame or line codec).\n"
         << "  --model <name>    built-in scenario of the seed session:";
     for (const std::string& name : gmdf::proto::scenario_names()) out << " " << name;
@@ -43,6 +45,14 @@ int usage(std::ostream& out, int code) {
         << "  --max-conn <n>    concurrent connection cap (default 10000)\n"
         << "  --threads <n>     fleet pump worker threads; per-session behavior\n"
         << "                    is identical at any count (default 1)\n"
+        << "  --idle-timeout-ms <n>   close connections silent this long; frame\n"
+        << "                    clients stay alive with heartbeat pings (default off)\n"
+        << "  --accept-high-water <n> shed new clients with a structured busy\n"
+        << "                    reply above this many connections (default off)\n"
+        << "  --watchdog-us <n> per-slice wall-clock pump deadline; a session\n"
+        << "                    over it repeatedly is quarantined (default off)\n"
+        << "  --watchdog-strikes <n>  consecutive overruns before quarantine\n"
+        << "                    (default 3)\n"
         << "  --help            this text\n";
     return code;
 }
@@ -50,8 +60,15 @@ int usage(std::ostream& out, int code) {
 } // namespace
 
 int main(int argc, char** argv) {
+    // The server's poll loop writes to sockets that can vanish between
+    // poll() and send(); MSG_NOSIGNAL covers those sends, and ignoring
+    // SIGPIPE covers everything else (a late flush on a dead fd must
+    // surface as EPIPE, never kill the hub).
+    std::signal(SIGPIPE, SIG_IGN);
+
     std::string model = "blinker";
     int threads = 1;
+    gmdf::hub::WatchdogConfig watchdog;
     gmdf::net::ServerConfig config;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -64,6 +81,14 @@ int main(int argc, char** argv) {
             config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
         } else if (arg == "--max-conn" && i + 1 < argc) {
             config.max_connections = std::atoi(argv[++i]);
+        } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+            config.idle_timeout_ms = std::atoi(argv[++i]);
+        } else if (arg == "--accept-high-water" && i + 1 < argc) {
+            config.accept_high_water = std::atoi(argv[++i]);
+        } else if (arg == "--watchdog-us" && i + 1 < argc) {
+            watchdog.slice_limit_us = std::atoll(argv[++i]);
+        } else if (arg == "--watchdog-strikes" && i + 1 < argc) {
+            watchdog.max_strikes = std::atoi(argv[++i]);
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = std::atoi(argv[++i]);
             if (threads < 1) {
@@ -78,6 +103,7 @@ int main(int argc, char** argv) {
 
     gmdf::hub::HubController hub;
     hub.scheduler().set_threads(threads);
+    if (watchdog.slice_limit_us > 0) hub.scheduler().set_watchdog(watchdog);
     auto* seed = hub.open(model, model);
     if (seed == nullptr) {
         std::cerr << "gmdf_serve: no scenario '" << model << "'\n";

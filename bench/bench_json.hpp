@@ -1,0 +1,175 @@
+// Shared writer for the BENCH_p*.json reports.
+//
+// Every C-series bench used to hand-roll its `std::fprintf` JSON; this is
+// the one streaming writer they share. It reproduces the established
+// report style — two-space indented objects, arrays of one-line ("compact")
+// row objects — so regenerated BENCH files diff cleanly against history:
+//
+//   gmdf::benchjson::Writer w;
+//   w.begin_object();
+//   w.kv("bench", "p9_obs");
+//   w.key("rows"); w.begin_array();
+//   for (...) { w.begin_object(/*compact=*/true); w.kv("name", r.name);
+//               w.kv("ns", r.ns, 1); w.end_object(); }
+//   w.end_array();
+//   w.end_object();
+//   if (!w.write_file(out_path)) { ... }
+//
+// Keys are emitted in call order; the writer tracks commas, indentation,
+// and string escaping. Numbers: integral kv() overloads print exactly,
+// doubles take an explicit decimal count (matching fprintf's "%.1f").
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace gmdf::benchjson {
+
+class Writer {
+  public:
+    void begin_object(bool compact = false) {
+        open_value();
+        out_ += '{';
+        push_frame(compact);
+    }
+
+    void end_object() {
+        pop_frame('}');
+    }
+
+    void begin_array(bool compact = false) {
+        open_value();
+        out_ += '[';
+        push_frame(compact);
+    }
+
+    void end_array() {
+        pop_frame(']');
+    }
+
+    /// Emit "key": — follow with begin_object/begin_array or a kv-style
+    /// value call.
+    void key(std::string_view k) {
+        separate();
+        append_string(k);
+        out_ += ": ";
+        pending_value_ = true;
+    }
+
+    void kv(std::string_view k, std::string_view v) {
+        key(k);
+        append_string(v);
+        pending_value_ = false;
+    }
+    void kv(std::string_view k, const char* v) { kv(k, std::string_view(v)); }
+
+    template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    void kv(std::string_view k, T v) {
+        char buf[24];
+        if constexpr (std::is_signed_v<T>)
+            std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+        else
+            std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+        key(k);
+        out_ += buf;
+        pending_value_ = false;
+    }
+
+    void kv(std::string_view k, double v, int decimals) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+        key(k);
+        out_ += buf;
+        pending_value_ = false;
+    }
+
+    [[nodiscard]] const std::string& text() const { return out_; }
+
+    /// Writes text() + trailing newline; false (with a stderr note) on
+    /// failure, mirroring the benches' historical error handling.
+    bool write_file(const char* path) const {
+        std::FILE* f = std::fopen(path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", path);
+            return false;
+        }
+        std::fputs(out_.c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    struct Frame {
+        bool compact;
+        bool has_items = false;
+    };
+
+    void push_frame(bool compact) {
+        // Nested inside a compact container everything stays on one line.
+        const bool inherited = !frames_.empty() && frames_.back().compact;
+        frames_.push_back({compact || inherited});
+    }
+
+    void pop_frame(char closer) {
+        const Frame frame = frames_.back();
+        frames_.pop_back();
+        if (!frame.compact && frame.has_items) {
+            out_ += '\n';
+            indent();
+        }
+        out_ += closer;
+    }
+
+    /// Comma/newline bookkeeping before a key or a bare array element.
+    void separate() {
+        if (pending_value_) return; // value position after key(): no comma
+        if (!frames_.empty()) {
+            Frame& frame = frames_.back();
+            if (frame.has_items) out_ += frame.compact ? ", " : ",";
+            frame.has_items = true;
+            if (!frame.compact) {
+                out_ += '\n';
+                indent();
+            }
+        }
+    }
+
+    void open_value() {
+        if (pending_value_) {
+            pending_value_ = false;
+            return;
+        }
+        separate();
+    }
+
+    /// Two spaces per open frame: item depth; closers call this after
+    /// their pop, landing one level shallower.
+    void indent() {
+        for (std::size_t i = 0; i < frames_.size(); ++i) out_ += "  ";
+    }
+
+    void append_string(std::string_view s) {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+                case '"': out_ += "\\\""; break;
+                case '\\': out_ += "\\\\"; break;
+                case '\n': out_ += "\\n"; break;
+                case '\t': out_ += "\\t"; break;
+                default: out_ += c;
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<Frame> frames_;
+    bool pending_value_ = false;
+};
+
+} // namespace gmdf::benchjson

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "expr/compile.hpp"
 #include "expr/eval.hpp"
 #include "expr/parser.hpp"
@@ -256,23 +257,23 @@ int main(int argc, char** argv) {
         std::printf("%-28s %14.1f %14.1f %9.1fx\n", r.name.c_str(), r.tree_ns,
                     r.compiled_ns, r.speedup());
 
-    FILE* f = std::fopen(out_path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s\n", out_path);
-        return 1;
+    gmdf::benchjson::Writer w;
+    w.begin_object();
+    w.kv("bench", "p3_expr");
+    w.kv("unit", "ns_per_eval");
+    w.key("workloads");
+    w.begin_array();
+    for (const Result& r : results) {
+        w.begin_object(/*compact=*/true);
+        w.kv("name", r.name);
+        w.kv("tree_walk", r.tree_ns, 1);
+        w.kv("compiled", r.compiled_ns, 1);
+        w.kv("speedup", r.speedup(), 2);
+        w.end_object();
     }
-    std::fprintf(f, "{\n  \"bench\": \"p3_expr\",\n  \"unit\": \"ns_per_eval\",\n"
-                    "  \"workloads\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const Result& r = results[i];
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"tree_walk\": %.1f, \"compiled\": %.1f, "
-                     "\"speedup\": %.2f}%s\n",
-                     r.name.c_str(), r.tree_ns, r.compiled_ns, r.speedup(),
-                     i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    w.end_array();
+    w.end_object();
+    if (!w.write_file(out_path)) return 1;
     std::printf("wrote %s\n", out_path);
     return 0;
 }

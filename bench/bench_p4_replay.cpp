@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "proto/scenarios.hpp"
 #include "replay/snapshot.hpp"
 #include "replay/timeline.hpp"
@@ -110,28 +111,34 @@ int main(int argc, char** argv) {
         std::printf("%-24s %12.0f %12.2f %12zu\n", r.name.c_str(), r.cadence_ms,
                     r.rewind_ms, r.ring_bytes);
 
-    FILE* f = std::fopen(out_path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s\n", out_path);
-        return 1;
+    gmdf::benchjson::Writer w;
+    w.begin_object();
+    w.kv("bench", "p4_replay");
+    w.key("snapshots");
+    w.begin_array();
+    for (const auto& r : snaps) {
+        w.begin_object(/*compact=*/true);
+        w.kv("name", r.name);
+        w.kv("capture_us", r.capture_us, 1);
+        w.kv("restore_us", r.restore_us, 1);
+        w.kv("bytes", r.bytes);
+        w.end_object();
     }
-    std::fprintf(f, "{\n  \"bench\": \"p4_replay\",\n  \"snapshots\": [\n");
-    for (std::size_t i = 0; i < snaps.size(); ++i)
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"capture_us\": %.1f, \"restore_us\": "
-                     "%.1f, \"bytes\": %zu}%s\n",
-                     snaps[i].name.c_str(), snaps[i].capture_us, snaps[i].restore_us,
-                     snaps[i].bytes, i + 1 < snaps.size() ? "," : "");
-    std::fprintf(f, "  ],\n  \"rewinds\": [\n");
-    for (std::size_t i = 0; i < rewinds.size(); ++i)
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"cadence_ms\": %.0f, \"rewind_ms\": "
-                     "%.2f, \"checkpoints\": %zu, \"ring_bytes\": %zu}%s\n",
-                     rewinds[i].name.c_str(), rewinds[i].cadence_ms,
-                     rewinds[i].rewind_ms, rewinds[i].checkpoints,
-                     rewinds[i].ring_bytes, i + 1 < rewinds.size() ? "," : "");
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    w.end_array();
+    w.key("rewinds");
+    w.begin_array();
+    for (const auto& r : rewinds) {
+        w.begin_object(/*compact=*/true);
+        w.kv("name", r.name);
+        w.kv("cadence_ms", r.cadence_ms, 0);
+        w.kv("rewind_ms", r.rewind_ms, 2);
+        w.kv("checkpoints", r.checkpoints);
+        w.kv("ring_bytes", r.ring_bytes);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!w.write_file(out_path)) return 1;
     std::printf("\nwrote %s\n", out_path);
     return 0;
 }

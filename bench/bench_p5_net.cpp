@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "hub/controller.hpp"
 #include "net/codec.hpp"
 #include "net/server.hpp"
@@ -347,28 +348,31 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.events_dropped));
     server.stop();
 
-    FILE* f = std::fopen(out_path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s\n", out_path);
-        return 1;
+    gmdf::benchjson::Writer w;
+    w.begin_object();
+    w.kv("bench", "p5_net");
+    w.key("levels");
+    w.begin_array();
+    for (const auto& r : results) {
+        w.begin_object(/*compact=*/true);
+        w.kv("connections", r.connections);
+        w.kv("connected", r.connected);
+        w.kv("requests", r.requests);
+        w.kv("seconds", r.seconds, 2);
+        w.kv("rps", r.rps, 0);
+        w.kv("p50_us", r.p50_us, 1);
+        w.kv("p99_us", r.p99_us, 1);
+        w.end_object();
     }
-    std::fprintf(f, "{\n  \"bench\": \"p5_net\",\n  \"levels\": [\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto& r = results[i];
-        std::fprintf(f,
-                     "    {\"connections\": %d, \"connected\": %d, \"requests\": "
-                     "%llu, \"seconds\": %.2f, \"rps\": %.0f, \"p50_us\": %.1f, "
-                     "\"p99_us\": %.1f}%s\n",
-                     r.connections, r.connected,
-                     static_cast<unsigned long long>(r.requests), r.seconds, r.rps,
-                     r.p50_us, r.p99_us, i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ],\n  \"server\": {\"accepted\": %llu, \"protocol_errors\": "
-                    "%llu, \"events_dropped\": %llu}\n}\n",
-                 static_cast<unsigned long long>(stats.accepted),
-                 static_cast<unsigned long long>(stats.protocol_errors),
-                 static_cast<unsigned long long>(stats.events_dropped));
-    std::fclose(f);
+    w.end_array();
+    w.key("server");
+    w.begin_object(/*compact=*/true);
+    w.kv("accepted", stats.accepted);
+    w.kv("protocol_errors", stats.protocol_errors);
+    w.kv("events_dropped", stats.events_dropped);
+    w.end_object();
+    w.end_object();
+    if (!w.write_file(out_path)) return 1;
     std::printf("wrote %s\n", out_path);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "campaign/generator.hpp"
 #include "campaign/runner.hpp"
 #include "comdes/build.hpp"
@@ -118,34 +119,41 @@ int main(int argc, char** argv) {
                     c.name.c_str(), c.pairs, c.total_ms, c.pair_ms, c.pairs_per_s,
                     c.localized, c.bisect, c.differential, c.clean, c.skipped);
 
-    FILE* f = std::fopen(out_path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s\n", out_path);
-        return 1;
+    gmdf::benchjson::Writer w;
+    w.begin_object();
+    w.kv("bench", "p6_campaign");
+    w.key("generate");
+    w.begin_array();
+    for (const auto& g : gens) {
+        w.begin_object(/*compact=*/true);
+        w.kv("name", g.name);
+        w.kv("actors", g.actors);
+        w.kv("max_states", g.max_states);
+        w.kv("gen_us", g.gen_us, 1);
+        w.kv("models_per_s", g.models_per_s, 0);
+        w.end_object();
     }
-    std::fprintf(f, "{\n  \"bench\": \"p6_campaign\",\n  \"generate\": [\n");
-    for (std::size_t i = 0; i < gens.size(); ++i)
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"actors\": %d, \"max_states\": %d, "
-                     "\"gen_us\": %.1f, \"models_per_s\": %.0f}%s\n",
-                     gens[i].name.c_str(), gens[i].actors, gens[i].max_states,
-                     gens[i].gen_us, gens[i].models_per_s,
-                     i + 1 < gens.size() ? "," : "");
-    std::fprintf(f, "  ],\n  \"campaigns\": [\n");
-    for (std::size_t i = 0; i < campaigns.size(); ++i)
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"pairs\": %d, \"wave\": %d, "
-                     "\"total_ms\": %.1f, \"pair_ms\": %.2f, \"pairs_per_s\": %.1f, "
-                     "\"localized\": %d, \"bisect\": %d, \"differential\": %d, "
-                     "\"clean\": %d, \"skipped\": %d}%s\n",
-                     campaigns[i].name.c_str(), campaigns[i].pairs, campaigns[i].wave,
-                     campaigns[i].total_ms, campaigns[i].pair_ms,
-                     campaigns[i].pairs_per_s, campaigns[i].localized,
-                     campaigns[i].bisect, campaigns[i].differential,
-                     campaigns[i].clean, campaigns[i].skipped,
-                     i + 1 < campaigns.size() ? "," : "");
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    w.end_array();
+    w.key("campaigns");
+    w.begin_array();
+    for (const auto& c : campaigns) {
+        w.begin_object(/*compact=*/true);
+        w.kv("name", c.name);
+        w.kv("pairs", c.pairs);
+        w.kv("wave", c.wave);
+        w.kv("total_ms", c.total_ms, 1);
+        w.kv("pair_ms", c.pair_ms, 2);
+        w.kv("pairs_per_s", c.pairs_per_s, 1);
+        w.kv("localized", c.localized);
+        w.kv("bisect", c.bisect);
+        w.kv("differential", c.differential);
+        w.kv("clean", c.clean);
+        w.kv("skipped", c.skipped);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!w.write_file(out_path)) return 1;
     std::printf("\nwrote %s\n", out_path);
     return 0;
 }

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "campaign/runner.hpp"
 #include "comdes/build.hpp"
 #include "core/builder.hpp"
@@ -184,36 +185,41 @@ int main(int argc, char** argv) {
         std::printf("%-24s %8d %8d %10.1f %10.2f %10.1f\n", c.name.c_str(), c.pairs,
                     c.threads, c.total_ms, c.pair_ms, c.pairs_per_s);
 
-    FILE* f = std::fopen(out_path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s\n", out_path);
-        return 1;
+    gmdf::benchjson::Writer w;
+    w.begin_object();
+    w.kv("bench", "p7_shard");
+    w.kv("cpus", cpus);
+    w.key("fleet");
+    w.begin_array();
+    for (const auto& r : fleets) {
+        w.begin_object(/*compact=*/true);
+        w.kv("name", r.name);
+        w.kv("sessions", r.sessions);
+        w.kv("threads", r.threads);
+        w.kv("total_ms", r.total_ms, 1);
+        w.kv("sessions_per_s", r.sessions_per_s, 0);
+        w.kv("slices_per_s", r.slices_per_s, 0);
+        w.kv("steals", r.steals);
+        w.kv("fairness_min_ms", r.fairness_min_ms, 0);
+        w.kv("fairness_max_ms", r.fairness_max_ms, 0);
+        w.end_object();
     }
-    std::fprintf(f, "{\n  \"bench\": \"p7_shard\",\n  \"cpus\": %u,\n  \"fleet\": [\n",
-                 cpus);
-    for (std::size_t i = 0; i < fleets.size(); ++i)
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"sessions\": %d, \"threads\": %d, "
-                     "\"total_ms\": %.1f, \"sessions_per_s\": %.0f, "
-                     "\"slices_per_s\": %.0f, \"steals\": %llu, "
-                     "\"fairness_min_ms\": %.0f, \"fairness_max_ms\": %.0f}%s\n",
-                     fleets[i].name.c_str(), fleets[i].sessions, fleets[i].threads,
-                     fleets[i].total_ms, fleets[i].sessions_per_s,
-                     fleets[i].slices_per_s,
-                     static_cast<unsigned long long>(fleets[i].steals),
-                     fleets[i].fairness_min_ms, fleets[i].fairness_max_ms,
-                     i + 1 < fleets.size() ? "," : "");
-    std::fprintf(f, "  ],\n  \"campaigns\": [\n");
-    for (std::size_t i = 0; i < campaigns.size(); ++i)
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"pairs\": %d, \"threads\": %d, "
-                     "\"total_ms\": %.1f, \"pair_ms\": %.2f, \"pairs_per_s\": %.1f}%s\n",
-                     campaigns[i].name.c_str(), campaigns[i].pairs,
-                     campaigns[i].threads, campaigns[i].total_ms,
-                     campaigns[i].pair_ms, campaigns[i].pairs_per_s,
-                     i + 1 < campaigns.size() ? "," : "");
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    w.end_array();
+    w.key("campaigns");
+    w.begin_array();
+    for (const auto& c : campaigns) {
+        w.begin_object(/*compact=*/true);
+        w.kv("name", c.name);
+        w.kv("pairs", c.pairs);
+        w.kv("threads", c.threads);
+        w.kv("total_ms", c.total_ms, 1);
+        w.kv("pair_ms", c.pair_ms, 2);
+        w.kv("pairs_per_s", c.pairs_per_s, 1);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!w.write_file(out_path)) return 1;
     std::printf("\nwrote %s\n", out_path);
     return 0;
 }

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "hub/controller.hpp"
 #include "net/chaos.hpp"
 #include "net/client.hpp"
@@ -199,36 +200,37 @@ int main(int argc, char** argv) {
         levels.push_back(level);
     }
 
-    std::FILE* f = std::fopen(out_path, "w");
-    if (f == nullptr) {
-        std::perror(out_path);
-        return 1;
+    gmdf::benchjson::Writer w;
+    w.begin_object();
+    w.kv("bench", "p8_chaos");
+    w.kv("clients", kClients);
+    w.key("levels");
+    w.begin_array();
+    for (const LevelResult& level : levels) {
+        w.begin_object(/*compact=*/true);
+        w.kv("fault_rate", level.fault_rate, 2);
+        w.kv("requests", level.requests);
+        w.kv("errors", level.errors);
+        w.kv("seconds", level.seconds, 2);
+        w.kv("rps", level.rps, 0);
+        w.kv("p50_us", level.p50_us, 1);
+        w.kv("p99_us", level.p99_us, 1);
+        w.kv("reconnects", level.reconnects);
+        w.kv("mean_resume_us", level.mean_resume_us, 0);
+        w.kv("lost_clients", level.lost_clients);
+        w.key("proxy");
+        w.begin_object();
+        w.kv("chunks", level.proxy.chunks);
+        w.kv("torn", level.proxy.torn);
+        w.kv("stalls", level.proxy.stalls);
+        w.kv("disconnects", level.proxy.disconnects);
+        w.kv("corruptions", level.proxy.corruptions);
+        w.end_object();
+        w.end_object();
     }
-    std::fprintf(f, "{\n  \"bench\": \"p8_chaos\",\n  \"clients\": %d,\n  \"levels\": [\n",
-                 kClients);
-    for (std::size_t i = 0; i < levels.size(); ++i) {
-        const LevelResult& level = levels[i];
-        std::fprintf(
-            f,
-            "    {\"fault_rate\": %.2f, \"requests\": %llu, \"errors\": %llu, "
-            "\"seconds\": %.2f, \"rps\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
-            "\"reconnects\": %llu, \"mean_resume_us\": %.0f, \"lost_clients\": %llu, "
-            "\"proxy\": {\"chunks\": %llu, \"torn\": %llu, \"stalls\": %llu, "
-            "\"disconnects\": %llu, \"corruptions\": %llu}}%s\n",
-            level.fault_rate, static_cast<unsigned long long>(level.requests),
-            static_cast<unsigned long long>(level.errors), level.seconds, level.rps,
-            level.p50_us, level.p99_us,
-            static_cast<unsigned long long>(level.reconnects), level.mean_resume_us,
-            static_cast<unsigned long long>(level.lost_clients),
-            static_cast<unsigned long long>(level.proxy.chunks),
-            static_cast<unsigned long long>(level.proxy.torn),
-            static_cast<unsigned long long>(level.proxy.stalls),
-            static_cast<unsigned long long>(level.proxy.disconnects),
-            static_cast<unsigned long long>(level.proxy.corruptions),
-            i + 1 < levels.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    w.end_array();
+    w.end_object();
+    if (!w.write_file(out_path)) return 1;
     std::printf("wrote %s\n", out_path);
     return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "campaign/runner.hpp"
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
 #include "proto/controller.hpp"
 #include "proto/message.hpp"
 
@@ -69,10 +70,75 @@ HubController::HubController() {
                          "fault-hunt campaign over generated models", nullptr});
     hub_dispatcher_.add({"campaign", "campaign report",
                          "re-print the last campaign's summary", nullptr});
+    hub_dispatcher_.add({"metrics", "metrics [prefix]",
+                         "unified obs registry dump: counters, gauges, latency"
+                         " histograms (optionally filtered by name prefix)",
+                         nullptr});
     init_slice_hook();
+    // Publish the hub's legacy stats structs (EngineStats aggregate,
+    // HubStats, ShardStats, WatchdogStats) into the obs registry at scrape
+    // time, and touch the pump histogram so the /metrics catalog is
+    // complete before the first pump. Collectors run on the scraping
+    // thread — for this hub that is the serving thread, between requests.
+    (void)pump_metrics();
+    obs::registry().add_collector(this, [this](obs::Registry&) { publish_metrics(); });
 }
 
-HubController::~HubController() = default;
+HubController::~HubController() { obs::registry().remove_collector(this); }
+
+void HubController::publish_metrics() {
+    obs::Registry& reg = obs::registry();
+    const auto set = [&reg](std::string_view name, std::uint64_t v) {
+        reg.gauge(name).set(static_cast<std::int64_t>(v));
+    };
+    set("hub.sessions.live", registry_.size());
+    set("hub.sessions.opened", registry_.opened());
+    set("hub.sessions.closed", registry_.closed());
+    set("hub.sessions.faulted", registry_.faulted_count());
+    set("hub.requests", stats_.requests);
+    set("hub.request_errors", stats_.request_errors);
+    set("hub.events_dropped", stats_.events_dropped);
+    set("hub.pump.slices", scheduler_.total_slices());
+    set("hub.pump.steals", scheduler_.total_steals());
+    const WatchdogStats& wd = scheduler_.watchdog_stats();
+    set("hub.watchdog.overruns", wd.overruns);
+    set("hub.watchdog.runaways", wd.runaways);
+    const core::EngineStats total = registry_.aggregate_stats();
+    set("engine.commands", total.commands);
+    set("engine.reactions", total.reactions);
+    set("engine.breakpoints_hit", total.breakpoints_hit);
+    set("engine.divergences", total.divergences);
+    set("engine.requests", total.requests);
+    set("engine.request_errors", total.request_errors);
+    set("engine.events_emitted", total.events_emitted);
+    set("engine.events_dropped", total.events_dropped);
+    const auto& shards = scheduler_.shard_stats();
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const ShardedScheduler::ShardStats& s = shards[i];
+        const std::string shard = std::to_string(i);
+        const auto sset = [&reg, &shard](std::string_view name, std::uint64_t v) {
+            reg.gauge(name, "shard", shard).set(static_cast<std::int64_t>(v));
+        };
+        sset("hub.shard.sessions", static_cast<std::uint64_t>(s.sessions));
+        sset("hub.shard.slices", s.slices);
+        sset("hub.shard.advanced_ms", static_cast<std::uint64_t>(s.advanced / rt::kMs));
+        sset("hub.shard.steals", s.steals);
+        sset("hub.shard.overruns", s.overruns);
+        sset("hub.shard.faulted", s.faulted);
+    }
+}
+
+proto::Response HubController::cmd_metrics(const proto::Request& req) {
+    if (req.args.size() > 1)
+        return proto::Response::make_error(proto::ErrorCode::BadArgument,
+                                           "usage: metrics [prefix]");
+    const std::string prefix = req.args.empty() ? std::string() : req.args[0];
+    std::vector<std::string> body = obs::registry().text_dump(prefix);
+    if (body.empty())
+        body.push_back(prefix.empty() ? "(no metrics)"
+                                      : "(no metrics match '" + prefix + "')");
+    return proto::Response::make_ok(std::move(body));
+}
 
 void HubController::init_slice_hook() {
     // One std::function for the hub's lifetime: constructing it per
@@ -243,7 +309,7 @@ proto::Response HubController::execute_line(std::string_view line, RouteContext&
 
     std::string_view verb = first_token(line);
     if (verb == "session" || verb == "attach" || verb == "acl" ||
-        verb == "campaign") {
+        verb == "campaign" || verb == "metrics") {
         // Silently dropping the prefix would make '@cell session close'
         // act on the *current* session — refuse instead.
         if (addressed)
@@ -259,6 +325,7 @@ proto::Response HubController::execute_line(std::string_view line, RouteContext&
             if (verb == "session") resp = cmd_session(*parsed.request, ctx);
             else if (verb == "attach") resp = cmd_attach(*parsed.request, ctx);
             else if (verb == "campaign") resp = cmd_campaign(*parsed.request);
+            else if (verb == "metrics") resp = cmd_metrics(*parsed.request);
             else resp = cmd_acl(*parsed.request, ctx);
         } catch (const std::exception& e) {
             resp = proto::Response::make_error(proto::ErrorCode::Internal,
@@ -278,7 +345,7 @@ proto::Response HubController::execute_line(std::string_view line, RouteContext&
             const auto& args = parsed.request->args;
             if (args.size() == 1 &&
                 (args[0] == "session" || args[0] == "attach" || args[0] == "acl" ||
-                 args[0] == "campaign"))
+                 args[0] == "campaign" || args[0] == "metrics"))
                 return hub_ok(hub_dispatcher_.help_lines(args[0]));
             if (args.empty()) {
                 if (entry == nullptr) return hub_ok(hub_dispatcher_.help_lines());

@@ -201,6 +201,8 @@ private:
     proto::Response cmd_attach(const proto::Request& req, RouteContext& ctx);
     proto::Response cmd_acl(const proto::Request& req, RouteContext& ctx);
     proto::Response cmd_campaign(const proto::Request& req);
+    proto::Response cmd_metrics(const proto::Request& req);
+    void publish_metrics();
 
     SessionRegistry registry_;
     ShardedScheduler scheduler_;

@@ -5,9 +5,15 @@
 #include <stdexcept>
 
 #include "core/session.hpp"
+#include "obs/trace.hpp"
 #include "rt/target.hpp"
 
 namespace gmdf::hub {
+
+const PumpMetrics& pump_metrics() {
+    static const PumpMetrics metrics{&obs::registry().histogram("hub.pump.slice_ns")};
+    return metrics;
+}
 
 void pump_session_slice(SessionRegistry::Entry& entry, rt::SimTime slice) {
     proto::Scenario& scenario = *entry.scenario;
@@ -20,23 +26,36 @@ void pump_session_slice(SessionRegistry::Entry& entry, rt::SimTime slice) {
 
 bool pump_session_slice_guarded(SessionRegistry::Entry& entry, rt::SimTime slice,
                                 const WatchdogConfig& watchdog,
-                                WatchdogStats& stats) {
+                                WatchdogStats& stats, int trace_tid) {
     using clock = std::chrono::steady_clock;
-    const clock::time_point start = watchdog.enabled() ? clock::now()
-                                                       : clock::time_point{};
-    try {
-        pump_session_slice(entry, slice);
-    } catch (const std::exception& e) {
-        entry.mark_faulted(e.what());
-        return false;
-    } catch (...) {
-        entry.mark_faulted("unknown exception during pump slice");
-        return false;
+    // One clock pair serves the watchdog deadline and the obs histogram;
+    // with both off the slice takes no timestamps at all.
+    const bool metrics_on = obs::metrics_enabled();
+    const bool timed = watchdog.enabled() || metrics_on;
+    const clock::time_point start = timed ? clock::now() : clock::time_point{};
+    {
+        obs::Span span("hub", "pump-slice", {}, trace_tid);
+        span.arg("session", entry.name);
+        try {
+            pump_session_slice(entry, slice);
+        } catch (const std::exception& e) {
+            entry.mark_faulted(e.what());
+            return false;
+        } catch (...) {
+            entry.mark_faulted("unknown exception during pump slice");
+            return false;
+        }
+    }
+    std::int64_t elapsed_ns = 0;
+    if (timed) {
+        elapsed_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                          start)
+                         .count();
+        if (metrics_on)
+            pump_metrics().slice_ns->record(static_cast<std::uint64_t>(elapsed_ns));
     }
     if (watchdog.enabled()) {
-        const auto elapsed_us =
-            std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - start)
-                .count();
+        const auto elapsed_us = elapsed_ns / 1000;
         if (elapsed_us > watchdog.slice_limit_us) {
             ++stats.overruns;
             if (++entry.overrun_strikes >= watchdog.max_strikes) {

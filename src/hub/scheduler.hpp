@@ -28,6 +28,7 @@
 #include <map>
 
 #include "hub/registry.hpp"
+#include "obs/metrics.hpp"
 #include "rt/des.hpp"
 
 namespace gmdf::hub {
@@ -63,8 +64,23 @@ struct WatchdogStats {
 /// Returns false when the session faulted (the caller drops it from the
 /// round). The entry is exclusively held by the caller, so its health
 /// fields need no locking; `stats` is the caller's accumulator.
+///
+/// Every slice also feeds the obs layer: wall duration into the
+/// `hub.pump.slice_ns` histogram and, when the tracer is running, a
+/// "pump-slice" span. `trace_tid` picks the Perfetto track (-1 = the
+/// calling thread's automatic id; the sharded pump passes a stable
+/// per-shard id so slices group under "shard-N" tracks).
 bool pump_session_slice_guarded(SessionRegistry::Entry& entry, rt::SimTime slice,
-                                const WatchdogConfig& watchdog, WatchdogStats& stats);
+                                const WatchdogConfig& watchdog, WatchdogStats& stats,
+                                int trace_tid = -1);
+
+/// Process-global pump instrumentation handles, shared by both
+/// schedulers; exposed so the hub can touch them at construction and the
+/// /metrics catalog is complete before the first pump.
+struct PumpMetrics {
+    obs::Histogram* slice_ns;
+};
+const PumpMetrics& pump_metrics();
 
 class PollScheduler {
 public:

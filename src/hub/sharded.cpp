@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace gmdf::hub {
 
 /// One session's work for this pump. Exclusively owned by whichever
@@ -58,6 +60,8 @@ void ShardedScheduler::pump_serial(SessionRegistry& registry, rt::SimTime durati
     ShardStats& shard = shards_.front();
     shard.sessions = static_cast<int>(remaining.size());
     WatchdogStats tally; // merged below so shard deltas are visible
+    if (obs::tracer().enabled())
+        obs::tracer().set_thread_name(obs::Tracer::kShardTidBase, "shard-0");
 
     bool any = true;
     while (any) {
@@ -66,7 +70,8 @@ void ShardedScheduler::pump_serial(SessionRegistry& registry, rt::SimTime durati
             auto it = remaining.find(e->id);
             if (it == remaining.end() || it->second <= 0) continue;
             rt::SimTime slice = std::min(budget_, it->second);
-            bool alive = pump_session_slice_guarded(*e, slice, watchdog_, tally);
+            bool alive = pump_session_slice_guarded(*e, slice, watchdog_, tally,
+                                                    obs::Tracer::kShardTidBase);
             it->second -= slice;
             any = true;
             SessionPumpStats& s = stats_[e->id];
@@ -135,6 +140,14 @@ void ShardedScheduler::pump_parallel(SessionRegistry& registry, rt::SimTime dura
     const bool has_hook = static_cast<bool>(after_slice);
     std::vector<WorkerTally> tallies(static_cast<std::size_t>(workers));
 
+    // Worker threads are respawned every pump, so spans use a stable
+    // per-shard presentation tid instead of a per-thread one — Perfetto
+    // shows one "shard-N" track per shard across the whole capture.
+    if (obs::tracer().enabled())
+        for (int w = 0; w < workers; ++w)
+            obs::tracer().set_thread_name(obs::Tracer::kShardTidBase + w,
+                                          "shard-" + std::to_string(w));
+
     auto work = [&](int w) {
         WorkerTally& tally = tallies[static_cast<std::size_t>(w)];
         ShardQueue& own = queues[static_cast<std::size_t>(w)];
@@ -171,8 +184,9 @@ void ShardedScheduler::pump_parallel(SessionRegistry& registry, rt::SimTime dura
             }
 
             const rt::SimTime slice = std::min(budget_, item->remaining);
-            const bool alive = pump_session_slice_guarded(*item->entry, slice,
-                                                          watchdog_, tally.watchdog);
+            const bool alive =
+                pump_session_slice_guarded(*item->entry, slice, watchdog_, tally.watchdog,
+                                           obs::Tracer::kShardTidBase + w);
             item->remaining -= slice;
             ++item->slices;
             item->advanced += slice;

@@ -36,10 +36,31 @@ void set_nodelay(int fd) {
     (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// HTTP detection magic: like kMagic, exactly 4 bytes, so the Detect
+/// buffer decides among frame / HTTP / line at the same prefix length.
+constexpr std::string_view kHttpGet = "GET ";
+
 } // namespace
 
 Server::Server(hub::HubController& hub, ServerConfig config)
-    : hub_(hub), config_(std::move(config)) {}
+    : hub_(hub), config_(std::move(config)) {
+    obs::Registry& reg = obs::registry();
+    obs_.accepted = &reg.counter("net.accepted");
+    obs_.closed = &reg.counter("net.closed");
+    obs_.protocol_errors = &reg.counter("net.protocol_errors");
+    obs_.pings = &reg.counter("net.pings");
+    obs_.scrapes = &reg.counter("net.scrapes");
+    obs_.bytes_in = &reg.counter("net.bytes_in");
+    obs_.bytes_out = &reg.counter("net.bytes_out");
+    const auto per_codec = [&reg](std::string_view name) {
+        return PerCodec{&reg.counter(name, "codec", "frame"),
+                        &reg.counter(name, "codec", "line")};
+    };
+    obs_.requests = per_codec("net.requests");
+    obs_.events_sent = per_codec("net.events_sent");
+    obs_.events_dropped = per_codec("net.events_dropped");
+    obs_.backpressure_pauses = per_codec("net.backpressure_pauses");
+}
 
 Server::~Server() { stop(); }
 
@@ -80,10 +101,20 @@ bool Server::start(std::string* error) {
         fan_out_event(session_id, session_name, line);
     });
     hub_.set_net_stats_provider([this] { return stats_lines(); });
+    // Server-state gauges the inline counters can't carry (current
+    // connection count, refusals). Scrapes run on the serving thread, so
+    // reading stats_ here is race-free.
+    obs::registry().add_collector(this, [this](obs::Registry& reg) {
+        reg.gauge("net.connections").set(static_cast<std::int64_t>(connections_.size()));
+        reg.gauge("net.refused").set(static_cast<std::int64_t>(stats_.refused));
+        reg.gauge("net.idle_closed").set(static_cast<std::int64_t>(stats_.idle_closed));
+        reg.gauge("net.busy_shed").set(static_cast<std::int64_t>(stats_.busy_shed));
+    });
     return true;
 }
 
 void Server::stop() {
+    obs::registry().remove_collector(this);
     while (!connections_.empty()) close_connection(connections_.size() - 1);
     if (listen_fd_ >= 0) {
         ::close(listen_fd_);
@@ -210,6 +241,7 @@ void Server::accept_pending() {
         }
         connections_.push_back(std::move(conn));
         ++stats_.accepted;
+        obs_.accepted->add();
     }
 }
 
@@ -220,21 +252,30 @@ bool Server::read_connection(Connection& conn) {
         if (n > 0) {
             conn.bytes_in += static_cast<std::uint64_t>(n);
             stats_.bytes_in += static_cast<std::uint64_t>(n);
+            obs_.bytes_in->add(static_cast<std::uint64_t>(n));
             conn.last_activity = std::chrono::steady_clock::now();
             switch (conn.mode) {
             case Connection::Mode::Detect:
                 conn.detect_buf.append(chunk, static_cast<std::size_t>(n));
                 if (conn.detect_buf.size() >= kMagic.size()) {
+                    // Both magics are 4 bytes: "GMDF" selects the frame
+                    // codec, "GET " one-shot HTTP (the /metrics scrape
+                    // surface, which keeps its buffered bytes), anything
+                    // else the line codec.
                     if (std::string_view(conn.detect_buf).starts_with(kMagic)) {
                         conn.mode = Connection::Mode::Frame;
                         conn.frames.feed(
                             std::string_view(conn.detect_buf).substr(kMagic.size()));
+                        conn.detect_buf.clear();
+                    } else if (std::string_view(conn.detect_buf).starts_with(kHttpGet)) {
+                        conn.mode = Connection::Mode::Http;
                     } else {
                         conn.mode = Connection::Mode::Line;
                         conn.lines.feed(conn.detect_buf);
+                        conn.detect_buf.clear();
                     }
-                    conn.detect_buf.clear();
-                } else if (!kMagic.starts_with(conn.detect_buf)) {
+                } else if (!kMagic.starts_with(conn.detect_buf) &&
+                           !kHttpGet.starts_with(conn.detect_buf)) {
                     conn.mode = Connection::Mode::Line;
                     conn.lines.feed(conn.detect_buf);
                     conn.detect_buf.clear();
@@ -245,6 +286,9 @@ bool Server::read_connection(Connection& conn) {
                 break;
             case Connection::Mode::Line:
                 conn.lines.feed({chunk, static_cast<std::size_t>(n)});
+                break;
+            case Connection::Mode::Http:
+                conn.detect_buf.append(chunk, static_cast<std::size_t>(n));
                 break;
             }
             if (!process_input(conn)) return true; // draining: flush, then close
@@ -262,6 +306,7 @@ bool Server::process_input(Connection& conn) {
         shed_busy(conn);
         return false; // drain the busy reply, then close
     }
+    if (conn.mode == Connection::Mode::Http) return process_http(conn);
     if (conn.mode == Connection::Mode::Frame) {
         Frame frame;
         while (true) {
@@ -296,6 +341,7 @@ bool Server::process_input(Connection& conn) {
                 // refreshed the idle clock, which is the point.
                 queue_bytes(conn, encode_frame(FrameType::Ping, frame.payload));
                 ++stats_.pings;
+                obs_.pings->add();
                 continue;
             }
             if (frame.type != FrameType::Request) {
@@ -323,9 +369,52 @@ bool Server::process_input(Connection& conn) {
     }
 }
 
+// One-shot HTTP/1.0 serving for scrape clients (curl, Prometheus): read
+// one request, answer it, drain, close. Only GET reaches here (the
+// sniffer keyed on "GET "); /metrics gets the exposition, anything else
+// a 404.
+bool Server::process_http(Connection& conn) {
+    const std::string& buf = conn.detect_buf;
+    std::size_t header_end = buf.find("\r\n\r\n");
+    if (header_end == std::string::npos) header_end = buf.find("\n\n");
+    if (header_end == std::string::npos) {
+        if (buf.size() > config_.max_line) {
+            protocol_error(conn, "oversized http request");
+            return false;
+        }
+        return true; // headers still arriving
+    }
+    std::string_view request_line = std::string_view(buf).substr(0, buf.find_first_of("\r\n"));
+    // "GET <path>[?query] HTTP/1.x" — the target is the second token.
+    std::string_view path = request_line.substr(kHttpGet.size());
+    path = path.substr(0, path.find_first_of(" \t"));
+    path = path.substr(0, path.find('?'));
+
+    std::string status = "200 OK";
+    std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+    std::string body;
+    if (path == "/metrics") {
+        obs_.scrapes->add();
+        body = obs::registry().prometheus_text();
+    } else {
+        status = "404 Not Found";
+        content_type = "text/plain; charset=utf-8";
+        body = "not found (try /metrics)\n";
+    }
+    std::string response = "HTTP/1.0 " + status +
+                           "\r\nContent-Type: " + content_type +
+                           "\r\nContent-Length: " + std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n" + body;
+    queue_bytes(conn, response);
+    conn.detect_buf.clear();
+    conn.draining = true;
+    return false; // flush the response, then close
+}
+
 bool Server::handle_request(Connection& conn, std::string_view line) {
     ++conn.requests;
     ++stats_.requests;
+    obs_.requests.of(conn).add();
     std::string_view trimmed = trim_view(line);
     bool is_quit = trimmed == "quit" || trimmed == "exit";
     proto::Response resp = hub_.execute_line(trimmed, conn.ctx);
@@ -361,6 +450,7 @@ void Server::fan_out_event(int session_id, std::string_view session_name,
             conn->pending_events.pop_front();
             ++conn->events_dropped;
             ++stats_.events_dropped;
+            obs_.events_dropped.of(*conn).add();
         }
         conn->pending_events.push_back(line);
     }
@@ -371,16 +461,25 @@ void Server::flush_pending_events(Connection& conn, bool force) {
     while (!conn.pending_events.empty()) {
         // Backpressure: a slow client keeps its events parked (bounded,
         // drop-counted) instead of growing an unbounded write buffer.
-        if (!force && conn.outbuf.size() - conn.out_pos >= config_.write_high_water)
+        if (!force && conn.outbuf.size() - conn.out_pos >= config_.write_high_water) {
+            // Count pause *transitions*, not every skipped flush, so the
+            // counter reads as "how often fan-out stalled".
+            if (!conn.bp_paused) {
+                conn.bp_paused = true;
+                obs_.backpressure_pauses.of(conn).add();
+            }
             return;
+        }
         std::string& line = conn.pending_events.front();
         if (conn.mode == Connection::Mode::Frame)
             queue_bytes(conn, encode_frame(FrameType::Event, line));
         else
             queue_bytes(conn, line);
         ++stats_.events_sent;
+        obs_.events_sent.of(conn).add();
         conn.pending_events.pop_front();
     }
+    conn.bp_paused = false;
 }
 
 void Server::queue_bytes(Connection& conn, std::string_view bytes) {
@@ -400,6 +499,7 @@ bool Server::write_connection(Connection& conn) {
             conn.out_pos += static_cast<std::size_t>(n);
             conn.bytes_out += static_cast<std::uint64_t>(n);
             stats_.bytes_out += static_cast<std::uint64_t>(n);
+            obs_.bytes_out->add(static_cast<std::uint64_t>(n));
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
@@ -419,6 +519,11 @@ void Server::shed_busy(Connection& conn) {
         std::to_string(config_.accept_high_water) + " connections); retry later";
     if (conn.mode == Connection::Mode::Frame)
         queue_bytes(conn, encode_frame(FrameType::Error, message));
+    else if (conn.mode == Connection::Mode::Http)
+        queue_bytes(conn, "HTTP/1.0 503 Service Unavailable\r\nContent-Type: "
+                          "text/plain; charset=utf-8\r\nContent-Length: " +
+                              std::to_string(message.size() + 1) +
+                              "\r\nConnection: close\r\n\r\n" + message + "\n");
     else
         queue_bytes(conn, proto::format_response(proto::Response::make_error(
                               proto::ErrorCode::BadState, message)));
@@ -427,6 +532,7 @@ void Server::shed_busy(Connection& conn) {
 
 void Server::protocol_error(Connection& conn, const std::string& message) {
     ++stats_.protocol_errors;
+    obs_.protocol_errors->add();
     if (conn.mode == Connection::Mode::Frame)
         queue_bytes(conn, encode_frame(FrameType::Error, message));
     else
@@ -446,6 +552,7 @@ void Server::close_connection(std::size_t index) {
     }
     hub_.release_context(conn.ctx);
     ++stats_.closed;
+    obs_.closed->add();
     connections_.erase(connections_.begin() +
                        static_cast<std::ptrdiff_t>(index));
 }
@@ -474,6 +581,7 @@ std::vector<std::string> Server::stats_lines() const {
     for (const auto& conn : connections_) {
         const char* codec = conn->mode == Connection::Mode::Frame  ? "frame"
                             : conn->mode == Connection::Mode::Line ? "line"
+                            : conn->mode == Connection::Mode::Http ? "http"
                                                                    : "detect";
         const hub::SessionRegistry* reg = &hub_.registry();
         std::string session = "-";

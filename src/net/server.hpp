@@ -38,6 +38,7 @@
 
 #include "hub/controller.hpp"
 #include "net/codec.hpp"
+#include "obs/metrics.hpp"
 
 namespace gmdf::net {
 
@@ -120,9 +121,14 @@ private:
     struct Connection {
         int fd = -1;
         int id = 0;
-        enum class Mode { Detect, Frame, Line } mode = Mode::Detect;
+        /// Http: a "GET " prefix instead of the GMDF magic switches the
+        /// connection to one-shot HTTP serving (the /metrics scrape
+        /// surface) — respond, drain, close.
+        enum class Mode { Detect, Frame, Line, Http } mode = Mode::Detect;
         bool hello_done = false;
+        bool bp_paused = false; ///< event fan-out paused over high water
         std::string detect_buf; ///< bytes held until the codec is known
+                                ///< (and the request buffer in Http mode)
         FrameReader frames;
         LineReader lines;
         std::string outbuf;
@@ -144,6 +150,7 @@ private:
     void accept_pending();
     bool read_connection(Connection& conn); ///< false: close it now
     bool process_input(Connection& conn);
+    bool process_http(Connection& conn); ///< false: response queued, drain+close
     bool handle_request(Connection& conn, std::string_view line);
     void send_response(Connection& conn, const std::string& formatted);
     void fan_out_event(int session_id, std::string_view session_name,
@@ -165,6 +172,31 @@ private:
     int next_conn_id_ = 1;
     std::vector<std::unique_ptr<Connection>> connections_;
     NetStats stats_;
+
+    /// obs registry handles, resolved once at construction so the hot
+    /// paths pay a single atomic add. Per-codec families carry a
+    /// codec=frame|line label; `first` is the frame handle.
+    struct PerCodec {
+        obs::Counter* frame;
+        obs::Counter* line;
+        obs::Counter& of(const Connection& conn) const {
+            return conn.mode == Connection::Mode::Frame ? *frame : *line;
+        }
+    };
+    struct ObsCounters {
+        obs::Counter* accepted;
+        obs::Counter* closed;
+        obs::Counter* protocol_errors;
+        obs::Counter* pings;
+        obs::Counter* scrapes;
+        obs::Counter* bytes_in;
+        obs::Counter* bytes_out;
+        PerCodec requests;
+        PerCodec events_sent;
+        PerCodec events_dropped;
+        PerCodec backpressure_pauses;
+    };
+    ObsCounters obs_;
 };
 
 } // namespace gmdf::net

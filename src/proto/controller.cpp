@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -9,6 +10,7 @@
 #include "core/names.hpp"
 #include "core/session.hpp"
 #include "expr/parser.hpp"
+#include "obs/trace.hpp"
 #include "replay/timeline.hpp"
 
 namespace gmdf::proto {
@@ -146,6 +148,10 @@ const std::vector<SessionController::VerbEntry>& SessionController::verb_table()
          &C::cmd_render},
         {"trace", "trace vcd|timing [columns]",
          "export the recorded trace (VCD dump / ASCII timing diagram)", &C::cmd_trace},
+        {"trace", "trace profile start|stop|dump <file>",
+         "profile the debugger itself: capture obs spans, export Chrome trace"
+         " JSON (Perfetto)",
+         nullptr},
         {"replay", "replay [stride]",
          "re-animate the recorded trace; shows the final frame", &C::cmd_replay},
         {"checkpoint", "checkpoint now", "capture a full-state checkpoint",
@@ -529,6 +535,7 @@ Response SessionController::cmd_trace(const Request& req) {
     };
 
     if (req.args.empty()) return bad_args("trace vcd|timing [columns]");
+    if (req.args[0] == "profile") return cmd_trace_profile(req);
     if (req.args[0] == "vcd") {
         if (req.args.size() != 1) return bad_args("trace vcd");
         return export_ok(session_->vcd());
@@ -547,6 +554,50 @@ Response SessionController::cmd_trace(const Request& req) {
         return export_ok(session_->timing_diagram().render_ascii(columns));
     }
     return bad_args("trace vcd|timing [columns]");
+}
+
+// The *debugger's own* profiler, not the target's trace: wall-clock spans
+// (dispatch, pump slices, checkpoint capture/restore) captured by
+// gmdf::obs and dumped as Chrome trace-event JSON for Perfetto. Span
+// counts and wall timings are nondeterministic by nature, so none of
+// these subverbs appear in golden transcripts.
+Response SessionController::cmd_trace_profile(const Request& req) {
+    const std::string usage = "trace profile start|stop|dump <file>";
+    if (req.args.size() < 2) return bad_args(usage);
+    const std::string& sub = req.args[1];
+    if (sub == "start") {
+        if (req.args.size() != 2) return bad_args("trace profile start");
+        obs::tracer().start();
+        return Response::make_ok({"trace profile started (spans recording; 'trace "
+                                  "profile dump <file>' exports Chrome trace JSON)"});
+    }
+    if (sub == "stop") {
+        if (req.args.size() != 2) return bad_args("trace profile stop");
+        if (!obs::tracer().enabled())
+            return Response::make_error(ErrorCode::BadState,
+                                        "trace profile is not running");
+        obs::tracer().stop();
+        std::vector<std::string> body = {
+            "trace profile stopped (" + std::to_string(obs::tracer().event_count()) +
+            " spans captured)"};
+        if (obs::tracer().dropped() > 0)
+            body.push_back("(span ring dropped " +
+                           std::to_string(obs::tracer().dropped()) +
+                           " oldest spans)");
+        return Response::make_ok(std::move(body));
+    }
+    if (sub == "dump") {
+        if (req.args.size() != 3) return bad_args("trace profile dump <file>");
+        std::ofstream out(req.args[2], std::ios::binary);
+        if (!out)
+            return Response::make_error(ErrorCode::BadState,
+                                        "cannot open '" + req.args[2] + "' for writing");
+        obs::tracer().write_chrome_json(out);
+        return Response::make_ok(
+            {"trace profile wrote " + req.args[2] + " (" +
+             std::to_string(obs::tracer().event_count()) + " spans)"});
+    }
+    return bad_args(usage);
 }
 
 Response SessionController::cmd_replay(const Request& req) {

@@ -107,6 +107,7 @@ private:
     Response cmd_break(const Request& req);
     Response cmd_query(const Request& req);
     Response cmd_render(const Request& req);
+    Response cmd_trace_profile(const Request& req);
     Response cmd_trace(const Request& req);
     Response cmd_replay(const Request& req);
     Response cmd_checkpoint(const Request& req);

@@ -1,11 +1,22 @@
 #include "proto/dispatcher.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace gmdf::proto {
 
-void Dispatcher::add(CommandSpec spec) { commands_.push_back(std::move(spec)); }
+void Dispatcher::add(CommandSpec spec) {
+    // Register the per-verb metrics eagerly so the /metrics catalog is
+    // complete the moment a session exists, not after each verb first runs.
+    if (spec.handler != nullptr) {
+        spec.obs_requests = &obs::registry().counter("proto.requests", "verb", spec.verb);
+        spec.obs_latency = &obs::registry().histogram("proto.request_ns", "verb", spec.verb);
+    }
+    commands_.push_back(std::move(spec));
+}
 
 std::vector<std::string> Dispatcher::verbs() const {
     std::vector<std::string> out;
@@ -33,14 +44,28 @@ Response Dispatcher::dispatch(const Request& req) const {
     if (match == nullptr)
         return Response::make_error(ErrorCode::UnknownVerb,
                                     "unknown verb '" + req.verb + "' (try 'help')");
+    // One relaxed load gates the whole instrumentation block; with metrics
+    // off the dispatch path is byte-for-byte the uninstrumented one.
+    const bool timed = obs::metrics_enabled();
+    const auto begin = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+    obs::Span span("proto", "dispatch:", req.verb);
+    Response resp;
     try {
-        return match->handler(req);
+        resp = match->handler(req);
     } catch (const std::exception& e) {
-        return Response::make_error(ErrorCode::Internal,
-                                    req.verb + " failed: " + e.what());
+        resp = Response::make_error(ErrorCode::Internal, req.verb + " failed: " + e.what());
     } catch (...) {
-        return Response::make_error(ErrorCode::Internal, req.verb + " failed");
+        resp = Response::make_error(ErrorCode::Internal, req.verb + " failed");
     }
+    if (timed) {
+        match->obs_requests->add();
+        match->obs_latency->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count()));
+    }
+    return resp;
 }
 
 } // namespace gmdf::proto

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "proto/message.hpp"
 
 namespace gmdf::proto {
@@ -32,6 +33,11 @@ struct CommandSpec {
     std::string_view usage;   ///< e.g. "step [actor]"
     std::string_view summary; ///< one-line human description
     Handler handler;          ///< null for doc-only rows
+
+    /// Per-verb obs handles (process-global, shared by every dispatcher
+    /// that registers the verb); filled in by add() for dispatchable rows.
+    obs::Counter* obs_requests = nullptr;
+    obs::Histogram* obs_latency = nullptr;
 };
 
 class Dispatcher {

@@ -16,13 +16,17 @@
 // wait for that line, then parse the port). SIGINT/SIGTERM drain and
 // exit 0.
 #include <arpa/inet.h>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "hub/controller.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/scenarios.hpp"
 
 namespace {
@@ -35,7 +39,8 @@ int usage(std::ostream& out, int code) {
     out << "usage: gmdf_serve [--model <name>] [--host <addr>] [--port <n>] "
            "[--max-conn <n>] [--threads <n>]\n"
            "                  [--idle-timeout-ms <n>] [--accept-high-water <n>] "
-           "[--watchdog-us <n>] [--watchdog-strikes <n>]\n\n"
+           "[--watchdog-us <n>] [--watchdog-strikes <n>]\n"
+           "                  [--metrics-interval-ms <n>] [--trace-out <file>]\n\n"
         << "Serves a GMDF debug hub over TCP (frame or line codec).\n"
         << "  --model <name>    built-in scenario of the seed session:";
     for (const std::string& name : gmdf::proto::scenario_names()) out << " " << name;
@@ -53,6 +58,12 @@ int usage(std::ostream& out, int code) {
         << "                    over it repeatedly is quarantined (default off)\n"
         << "  --watchdog-strikes <n>  consecutive overruns before quarantine\n"
         << "                    (default 3)\n"
+        << "  --metrics-interval-ms <n>  dump the obs metrics registry to stderr\n"
+        << "                    every <n> ms (default off; scrape GET /metrics on\n"
+        << "                    the same port for Prometheus exposition)\n"
+        << "  --trace-out <file>  record obs spans (dispatch, pump slices per\n"
+        << "                    shard, checkpoints) for the whole run; written as\n"
+        << "                    Chrome trace-event JSON (Perfetto) on exit\n"
         << "  --help            this text\n";
     return code;
 }
@@ -68,6 +79,8 @@ int main(int argc, char** argv) {
 
     std::string model = "blinker";
     int threads = 1;
+    int metrics_interval_ms = 0;
+    std::string trace_out;
     gmdf::hub::WatchdogConfig watchdog;
     gmdf::net::ServerConfig config;
     for (int i = 1; i < argc; ++i) {
@@ -89,6 +102,10 @@ int main(int argc, char** argv) {
             watchdog.slice_limit_us = std::atoll(argv[++i]);
         } else if (arg == "--watchdog-strikes" && i + 1 < argc) {
             watchdog.max_strikes = std::atoi(argv[++i]);
+        } else if (arg == "--metrics-interval-ms" && i + 1 < argc) {
+            metrics_interval_ms = std::atoi(argv[++i]);
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = std::atoi(argv[++i]);
             if (threads < 1) {
@@ -120,11 +137,47 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
 
+    if (!trace_out.empty()) {
+        gmdf::obs::tracer().start();
+        gmdf::obs::tracer().set_thread_name(gmdf::obs::current_trace_tid(), "hub");
+    }
+
     std::cout << "listening " << config.host << ":" << server.port()
               << " (scenario '" << seed->name << "' hosted as session "
               << seed->id << ")" << std::endl;
 
-    server.run(g_stop);
+    if (metrics_interval_ms > 0) {
+        // Same serve loop as run(), plus a periodic registry dump to
+        // stderr — the no-network-tooling way to watch a long-running hub.
+        using clock = std::chrono::steady_clock;
+        const auto interval = std::chrono::milliseconds(metrics_interval_ms);
+        auto next_dump = clock::now() + interval;
+        while (!g_stop.load(std::memory_order_relaxed)) {
+            server.poll_once(20);
+            const auto now = clock::now();
+            if (now >= next_dump) {
+                std::cerr << "== metrics ==\n";
+                for (const std::string& line : gmdf::obs::registry().text_dump())
+                    std::cerr << line << "\n";
+                std::cerr.flush();
+                do next_dump += interval; while (next_dump <= now);
+            }
+        }
+    } else {
+        server.run(g_stop);
+    }
+
+    if (!trace_out.empty()) {
+        gmdf::obs::tracer().stop();
+        std::ofstream trace_file(trace_out, std::ios::binary);
+        if (!trace_file) {
+            std::cerr << "gmdf_serve: cannot write trace to '" << trace_out << "'\n";
+        } else {
+            gmdf::obs::tracer().write_chrome_json(trace_file);
+            std::cout << "gmdf_serve: wrote trace " << trace_out << " ("
+                      << gmdf::obs::tracer().event_count() << " spans)\n";
+        }
+    }
 
     const auto& stats = server.stats();
     std::cout << "gmdf_serve: drained (" << stats.accepted << " connections, "
